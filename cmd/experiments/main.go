@@ -1,0 +1,100 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig5
+//	experiments -run all -simtime 1ms
+//
+// Output is a text table per experiment whose rows/series match the
+// paper's plots; EXPERIMENTS.md records a full paper-vs-measured pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"memnet/internal/exp"
+	"memnet/internal/sim"
+)
+
+func parseDuration(s string) (sim.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	return sim.Duration(d.Nanoseconds()) * sim.Nanosecond, nil
+}
+
+func main() {
+	runName := flag.String("run", "", "experiment to run (or 'all')")
+	list := flag.Bool("list", false, "list experiments")
+	simtime := flag.String("simtime", "400us", "measured simulated interval per run")
+	warmup := flag.String("warmup", "100us", "simulated warmup per run")
+	outDir := flag.String("outdir", "", "also write each experiment's output to <outdir>/<name>.txt")
+	verbose := flag.Bool("v", false, "print a line per fresh simulation run")
+	flag.Parse()
+
+	if *list || *runName == "" {
+		fmt.Println("experiments:")
+		for _, e := range exp.Registry {
+			heavy := ""
+			if e.Heavy {
+				heavy = " [heavy]"
+			}
+			fmt.Printf("  %-9s %s%s\n", e.Name, e.Description, heavy)
+		}
+		return
+	}
+
+	r := exp.NewRunner()
+	var err error
+	if r.SimTime, err = parseDuration(*simtime); err != nil {
+		fmt.Fprintf(os.Stderr, "bad -simtime: %v\n", err)
+		os.Exit(1)
+	}
+	if r.Warmup, err = parseDuration(*warmup); err != nil {
+		fmt.Fprintf(os.Stderr, "bad -warmup: %v\n", err)
+		os.Exit(1)
+	}
+	if *verbose {
+		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	save := func(name, out string) {
+		if *outDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "outdir: %v\n", err)
+			os.Exit(1)
+		}
+		path := *outDir + "/" + name + ".txt"
+		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Print(exp.ReportHeader(r))
+	if *runName == "all" {
+		for _, e := range exp.Registry {
+			start := time.Now()
+			out := e.Run(r)
+			fmt.Printf("\n%s\n(%s in %.1fs)\n", out, e.Name, time.Since(start).Seconds())
+			save(e.Name, out)
+		}
+		return
+	}
+	e, ok := exp.Lookup(*runName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; -list shows options\n", *runName)
+		os.Exit(1)
+	}
+	fmt.Println()
+	out := e.Run(r)
+	fmt.Print(out)
+	save(e.Name, out)
+}

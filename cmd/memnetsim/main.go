@@ -1,0 +1,182 @@
+// Command memnetsim runs one memory-network simulation and reports power,
+// performance and utilization; with -trace it also prints per-epoch
+// management decisions (mode selections, AMS budgets, violations).
+//
+// Example:
+//
+//	memnetsim -wl mixB -topo star -size small -mech VWL+ROO -policy aware -alpha 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"memnet/internal/core"
+	"memnet/internal/exp"
+	"memnet/internal/link"
+	"memnet/internal/network"
+	"memnet/internal/sim"
+	"memnet/internal/topology"
+	"memnet/internal/workload"
+)
+
+func main() {
+	wlName := flag.String("wl", "mixB", "workload profile")
+	topoName := flag.String("topo", "star", "daisychain | 'ternary tree' | star | DDRx-like")
+	sizeName := flag.String("size", "small", "small (4GB/module) or big (1GB/module)")
+	mechName := flag.String("mech", "VWL+ROO", "link power mechanism")
+	policyName := flag.String("policy", "aware", "none | unaware | aware | static")
+	alpha := flag.Float64("alpha", 0.05, "allowable slowdown factor")
+	simtime := flag.String("simtime", "400us", "measured simulated interval")
+	warmupF := flag.String("warmup", "100us", "simulated warmup")
+	wakeup := flag.Int("wakeup", 14, "ROO wakeup latency (ns)")
+	trace := flag.Bool("trace", false, "print per-epoch management trace")
+	config := flag.String("config", "", "JSON batch config (overrides the single-run flags)")
+	flag.Parse()
+
+	if *config != "" {
+		runBatch(*config)
+		return
+	}
+
+	wl, err := workload.ByName(*wlName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kind, err := topology.ParseKind(*topoName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mech, err := exp.ParseMech(*mechName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	policy, err := exp.ParsePolicy(*policyName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	size := exp.Small
+	if *sizeName == "big" {
+		size = exp.Big
+	} else if *sizeName != "small" {
+		log.Fatalf("unknown size %q", *sizeName)
+	}
+	st, err := time.ParseDuration(*simtime)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wu, err := time.ParseDuration(*warmupF)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spec := exp.Spec{
+		Workload: wl,
+		Topology: kind,
+		Size:     size,
+		Mech:     mech,
+		Policy:   policy,
+		Alpha:    *alpha,
+		Wakeup:   sim.Duration(*wakeup) * sim.Nanosecond,
+		SimTime:  sim.Duration(st.Nanoseconds()) * sim.Nanosecond,
+		Warmup:   sim.Duration(wu.Nanoseconds()) * sim.Nanosecond,
+	}
+
+	if *trace {
+		runTrace(spec)
+		return
+	}
+
+	start := time.Now()
+	res, err := exp.Run(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(res, time.Since(start))
+}
+
+// runBatch executes every run in a JSON config file.
+func runBatch(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	specs, err := exp.LoadBatch(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, spec := range specs {
+		start := time.Now()
+		res, err := exp.Run(spec)
+		if err != nil {
+			log.Fatalf("run %d: %v", i, err)
+		}
+		fmt.Printf("--- run %d/%d ---\n", i+1, len(specs))
+		report(res, time.Since(start))
+	}
+}
+
+// report prints one run's results.
+func report(res exp.Result, wall time.Duration) {
+	spec := res.Spec
+	fmt.Printf("workload %s on %s %s network (%d modules), %s links, %s policy, alpha=%.1f%%\n",
+		spec.Workload.Name, spec.Size, spec.Topology, res.Modules, spec.Mech, spec.Policy, 100*spec.Alpha)
+	fmt.Printf("  power/HMC:     %.3f W  (%s)\n", res.PerHMC.Total(), res.PerHMC)
+	fmt.Printf("  idle I/O:      %.1f%% of total network power\n", 100*res.IdleIOFraction())
+	fmt.Printf("  throughput:    %.1f M accesses/s\n", res.Throughput/1e6)
+	fmt.Printf("  read latency:  %s avg, %s p50, %s p95, %s p99\n",
+		res.AvgReadLatency, res.P50, res.P95, res.P99)
+	fmt.Printf("  channel util:  %.1f%%   avg link util: %.1f%%\n", 100*res.ChannelUtil, 100*res.LinkUtil)
+	fmt.Printf("  links/access:  %.2f\n", res.LinksPerAccess)
+	fmt.Printf("  violations:    %d (%d absorbed by AMS grants)\n", res.Violations, res.Granted)
+	fmt.Printf("  simulated %s in %.2fs wall (%.1fM events)\n",
+		spec.SimTime+spec.Warmup, wall.Seconds(), float64(res.Events)/1e6)
+}
+
+// runTrace replays the spec with per-epoch reporting.
+func runTrace(spec exp.Spec) {
+	kernel := sim.NewKernel()
+	n := spec.Workload.Modules(spec.Size.ChunkGB())
+	topo, err := topology.Build(spec.Topology, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := network.DefaultConfig()
+	cfg.Mechanism = spec.Mech.BW
+	cfg.ROO = spec.Mech.ROO
+	cfg.Wakeup = spec.Wakeup
+	cfg.ChunkBytes = uint64(spec.Size.ChunkGB()) << 30
+	net := network.New(kernel, topo, cfg)
+	mgr := core.Attach(kernel, net, core.DefaultConfig(spec.Policy, spec.Alpha))
+	fe, err := workload.NewFrontEnd(kernel, net, spec.Workload, workload.DefaultFrontEndConfig(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fe.Start()
+	fmt.Printf("%s on %v\n", fe, topo)
+
+	epoch := 100 * sim.Microsecond
+	total := spec.Warmup + spec.SimTime
+	prev := net.TakeSnapshot()
+	for now := epoch; now <= total; now += epoch {
+		kernel.Run(now)
+		snap := net.TakeSnapshot()
+		viol, grant := mgr.Violations()
+		fmt.Printf("epoch %3d: thr=%7.1fM/s lat=%9s chanUtil=%3.0f%% viol=%d grant=%d\n",
+			int(now/epoch), network.Throughput(prev, snap)/1e6,
+			network.AvgReadLatency(prev, snap), 100*network.ChannelUtilization(prev, snap),
+			viol, grant)
+		if os.Getenv("MEMNETSIM_LINKS") != "" {
+			for li, l := range net.Links {
+				fmt.Printf("   link%-3d %-8s d%d bw=%d roo=%d state=%d forced=%v maxq=%d\n",
+					li, l.Dir, l.Depth, l.BWTarget(), l.ROOMode(), l.State(), l.Forced(), l.MaxQueue())
+			}
+		}
+		prev = snap
+	}
+	_ = link.WakeupDefault
+}

@@ -1,0 +1,230 @@
+// Command memnettrace records, inspects, and replays memory access traces.
+//
+//	memnettrace record -wl mixB -o mixb.trace -simtime 1ms
+//	memnettrace info mixb.trace
+//	memnettrace replay -topo star -policy aware -alpha 0.05 mixb.trace
+//
+// Replay drives the same trace through any network/policy configuration,
+// so configurations can be compared under byte-identical traffic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"memnet/internal/core"
+	"memnet/internal/link"
+	"memnet/internal/network"
+	"memnet/internal/sim"
+	"memnet/internal/topology"
+	"memnet/internal/trace"
+	"memnet/internal/workload"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  memnettrace record -wl <workload> -o <file> [-topo t] [-size s] [-simtime d]
+  memnettrace info <file>
+  memnettrace replay [-topo t] [-size s] [-mech m] [-policy p] [-alpha a] <file>`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func simDuration(fs *flag.FlagSet, name, def, help string) func() sim.Duration {
+	s := fs.String(name, def, help)
+	return func() sim.Duration {
+		d, err := time.ParseDuration(*s)
+		if err != nil {
+			log.Fatalf("bad -%s: %v", name, err)
+		}
+		return sim.Duration(d.Nanoseconds()) * sim.Nanosecond
+	}
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	wlName := fs.String("wl", "mixB", "workload profile")
+	out := fs.String("o", "", "output trace file (required)")
+	topoName := fs.String("topo", "star", "topology used while recording")
+	sizeName := fs.String("size", "small", "small or big")
+	simtime := simDuration(fs, "simtime", "400us", "recording window")
+	fs.Parse(args)
+	if *out == "" {
+		log.Fatal("record: -o is required")
+	}
+	wl, err := workload.ByName(*wlName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k := sim.NewKernel()
+	net := makeNet(k, *topoName, *sizeName, "FP", wl.Modules(chunkGBOf(*sizeName)))
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	w := trace.NewWriter(f)
+	rec := trace.AttachRecorder(net, w)
+	fe, err := workload.NewFrontEnd(k, net, wl, workload.DefaultFrontEndConfig(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fe.Start()
+	k.Run(simtime())
+	if rec.Err() != nil {
+		log.Fatal(rec.Err())
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded %d accesses of %s over %s to %s\n", w.Count(), wl.Name, simtime(), *out)
+}
+
+func chunkGBOf(size string) int {
+	if size == "big" {
+		return 1
+	}
+	return 4
+}
+
+func makeNet(k *sim.Kernel, topoName, sizeName, mechName string, modules int) *network.Network {
+	kind, err := topology.ParseKind(topoName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo, err := topology.Build(kind, modules)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := network.DefaultConfig()
+	cfg.ChunkBytes = uint64(chunkGBOf(sizeName)) << 30
+	switch mechName {
+	case "FP":
+	case "VWL":
+		cfg.Mechanism = link.MechVWL
+	case "ROO":
+		cfg.ROO = true
+	case "VWL+ROO":
+		cfg.Mechanism, cfg.ROO = link.MechVWL, true
+	case "DVFS":
+		cfg.Mechanism = link.MechDVFS
+	case "DVFS+ROO":
+		cfg.Mechanism, cfg.ROO = link.MechDVFS, true
+	default:
+		log.Fatalf("unknown mechanism %q", mechName)
+	}
+	return network.New(k, topo, cfg)
+}
+
+func info(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	s, err := trace.Summarize(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("records:   %d (%d reads, %d writes)\n", s.Records, s.Reads, s.Writes)
+	fmt.Printf("span:      %s (first at %s)\n", s.Span, s.FirstAt)
+	fmt.Printf("max addr:  %#x (%.1f GB)\n", s.MaxAddr, float64(s.MaxAddr)/(1<<30))
+	if s.Span > 0 {
+		rate := float64(s.Records) / s.Span.Seconds()
+		fmt.Printf("rate:      %.1f M accesses/s\n", rate/1e6)
+	}
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	topoName := fs.String("topo", "star", "topology")
+	sizeName := fs.String("size", "small", "small or big")
+	mechName := fs.String("mech", "VWL+ROO", "link power mechanism")
+	policyName := fs.String("policy", "aware", "none | unaware | aware | static")
+	alpha := fs.Float64("alpha", 0.05, "allowable slowdown factor")
+	scale := fs.Float64("timescale", 1.0, "stretch (>1) or compress (<1) inter-arrival times")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.NewReader(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	records, err := tr.ReadAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(records) == 0 {
+		log.Fatal("replay: empty trace")
+	}
+	maxAddr := uint64(0)
+	for _, r := range records {
+		if r.Addr > maxAddr {
+			maxAddr = r.Addr
+		}
+	}
+	chunk := uint64(chunkGBOf(*sizeName)) << 30
+	modules := int(maxAddr/chunk) + 1
+
+	k := sim.NewKernel()
+	net := makeNet(k, *topoName, *sizeName, *mechName, modules)
+	var pk core.PolicyKind
+	switch *policyName {
+	case "none", "fp":
+		pk = core.PolicyNone
+	case "unaware":
+		pk = core.PolicyUnaware
+	case "aware":
+		pk = core.PolicyAware
+	case "static":
+		pk = core.PolicyStatic
+	default:
+		log.Fatalf("unknown policy %q", *policyName)
+	}
+	core.Attach(k, net, core.DefaultConfig(pk, *alpha))
+
+	player, err := trace.NewPlayer(k, net, records, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := net.TakeSnapshot()
+	player.Start()
+	span := sim.Duration(float64(records[len(records)-1].At-records[0].At) * *scale)
+	k.Run(k.Now() + span + 10*sim.Microsecond)
+	end := net.TakeSnapshot()
+
+	p := network.IntervalPower(start, end)
+	fmt.Printf("replayed %d accesses over %s on %s/%s (%d modules), %s links, %s policy\n",
+		player.Injected(), span, *sizeName, *topoName, modules, *mechName, *policyName)
+	fmt.Printf("  avg power:    %.2f W total, %.3f W/HMC\n", p.Total(), p.Total()/float64(modules))
+	fmt.Printf("  idle I/O:     %.1f%% of total\n", 100*p.IdleIO/p.Total())
+	fmt.Printf("  read latency: %s (avg)\n", network.AvgReadLatency(start, end))
+	fmt.Printf("  throughput:   %.1f M accesses/s\n", network.Throughput(start, end)/1e6)
+}

@@ -1,0 +1,120 @@
+// Command memnetviz runs one simulation and renders the network as an
+// annotated tree — per-link bandwidth modes, utilization meters and
+// off-time — plus a channel-utilization sparkline sampled per epoch. It is
+// the quickest way to see *where* in the topology a policy is saving
+// power.
+//
+//	memnetviz -wl sp.D -topo daisychain -size big -mech VWL+ROO -policy aware
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"memnet/internal/core"
+	"memnet/internal/exp"
+	"memnet/internal/link"
+	"memnet/internal/network"
+	"memnet/internal/sim"
+	"memnet/internal/topology"
+	"memnet/internal/viz"
+	"memnet/internal/workload"
+)
+
+func main() {
+	wlName := flag.String("wl", "sp.D", "workload profile")
+	topoName := flag.String("topo", "daisychain", "topology")
+	sizeName := flag.String("size", "big", "small or big")
+	mechName := flag.String("mech", "VWL+ROO", "link power mechanism")
+	policyName := flag.String("policy", "aware", "none | unaware | aware | static")
+	alpha := flag.Float64("alpha", 0.05, "allowable slowdown factor")
+	simtime := flag.String("simtime", "500us", "simulated time")
+	flag.Parse()
+
+	wl, err := workload.ByName(*wlName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kind, err := topology.ParseKind(*topoName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mech, err := exp.ParseMech(*mechName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	policy, err := exp.ParsePolicy(*policyName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	size, err := exp.ParseSize(*sizeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dur, err := time.ParseDuration(*simtime)
+	if err != nil {
+		log.Fatal(err)
+	}
+	horizon := sim.Duration(dur.Nanoseconds()) * sim.Nanosecond
+
+	kernel := sim.NewKernel()
+	topo, err := topology.Build(kind, wl.Modules(size.ChunkGB()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := network.DefaultConfig()
+	cfg.Mechanism = mech.BW
+	cfg.ROO = mech.ROO
+	cfg.ChunkBytes = uint64(size.ChunkGB()) << 30
+	net := network.New(kernel, topo, cfg)
+	core.Attach(kernel, net, core.DefaultConfig(policy, *alpha))
+	fe, err := workload.NewFrontEnd(kernel, net, wl, workload.DefaultFrontEndConfig(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fe.Start()
+
+	// Sample channel utilization per epoch for the sparkline.
+	epoch := 100 * sim.Microsecond
+	var chanSeries []float64
+	prev := net.TakeSnapshot()
+	for now := epoch; now <= horizon; now += epoch {
+		kernel.Run(now)
+		snap := net.TakeSnapshot()
+		chanSeries = append(chanSeries, network.ChannelUtilization(prev, snap))
+		prev = snap
+	}
+	final := net.TakeSnapshot()
+	elapsed := final.At
+
+	fmt.Printf("%s on %s %s, %s links, %s policy, alpha=%.1f%%, %s simulated\n\n",
+		wl.Name, size, kind, mech, policy, 100**alpha, elapsed)
+
+	linkDesc := func(l *link.Link) string {
+		util := float64(l.BusyTime()) / float64(elapsed)
+		mode := ""
+		if mech.BW != link.MechNone {
+			mode = fmt.Sprintf(" %2dL", link.Lanes(l.BWTarget()))
+			if mech.BW == link.MechDVFS {
+				mode = fmt.Sprintf(" %3.0f%%bw", 100*link.BWFactor(mech.BW, l.BWTarget()))
+			}
+		}
+		off := ""
+		if mech.ROO {
+			off = fmt.Sprintf(" roo:%s", link.ROOThresholds[l.ROOMode()])
+		}
+		return fmt.Sprintf("%s %s %4.1f%%%s%s", l.Dir.String()[:3], viz.Bar(util, 10), 100*util, mode, off)
+	}
+	annotate := func(m int) string {
+		mod := net.Modules[m]
+		return fmt.Sprintf("↓%s  ↑%s", linkDesc(mod.UpReq), linkDesc(mod.UpResp))
+	}
+	fmt.Print(viz.RenderTree(topo, annotate))
+
+	fmt.Printf("\nchannel utilization per epoch: %s\n", viz.Sparkline(chanSeries))
+	p := network.IntervalPower(network.Snapshot{}, final)
+	fmt.Printf("avg power: %.2f W total (%.2f W/HMC), idle I/O %.0f%%\n",
+		p.Total(), p.Total()/float64(topo.N()), 100*p.IdleIO/p.Total())
+}

@@ -1,0 +1,70 @@
+// Command multichannel demonstrates the multi-channel extension (the
+// paper's §III-C future-work axis): the same workload on 1, 2, and 4
+// page-interleaved channels, each channel independently managed. More
+// channels spread the traffic thinner, so idle I/O dominates even harder —
+// and network-aware management recovers more of it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memnet/internal/core"
+	"memnet/internal/link"
+	"memnet/internal/multichannel"
+	"memnet/internal/network"
+	"memnet/internal/sim"
+	"memnet/internal/topology"
+	"memnet/internal/workload"
+)
+
+func main() {
+	wl, err := workload.ByName("mg.D")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(channels int, policy core.PolicyKind) (wPerHMC, idleFrac, thr float64) {
+		k := sim.NewKernel()
+		netCfg := network.DefaultConfig()
+		netCfg.Mechanism = link.MechVWL
+		netCfg.ROO = true
+		perChannel := (wl.Modules(4) + channels - 1) / channels
+		if perChannel < 1 {
+			perChannel = 1
+		}
+		sys, err := multichannel.New(k, multichannel.Config{
+			Channels:          channels,
+			Topology:          topology.Star,
+			ModulesPerChannel: perChannel,
+			Network:           netCfg,
+			Management:        core.DefaultConfig(policy, 0.05),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fe, err := sys.AttachFrontEnd(wl, workload.DefaultFrontEndConfig(7))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fe.Start()
+		k.Run(100 * sim.Microsecond)
+		warm := sys.TakeSnapshot()
+		k.Run(500 * sim.Microsecond)
+		end := sys.TakeSnapshot()
+		p := multichannel.IntervalPower(warm, end)
+		return p.Total() / float64(sys.Modules()), p.IdleIO / p.Total(),
+			multichannel.Throughput(warm, end)
+	}
+
+	fmt.Printf("workload %s, star channels, VWL+ROO links, alpha=5%%\n\n", wl.Name)
+	fmt.Printf("%8s  %-14s %8s %8s %12s\n", "channels", "policy", "W/HMC", "idleIO", "throughput")
+	for _, ch := range []int{1, 2, 4} {
+		for _, pol := range []core.PolicyKind{core.PolicyNone, core.PolicyAware} {
+			w, idle, thr := run(ch, pol)
+			fmt.Printf("%8d  %-14s %8.2f %7.0f%% %9.0fM/s\n", ch, pol, w, 100*idle, thr/1e6)
+		}
+	}
+	fmt.Println("\nPer-channel utilization halves with each doubling of channels, so the")
+	fmt.Println("idle-I/O share grows — management matters more, not less, at scale.")
+}

@@ -1,0 +1,48 @@
+// Command quickstart builds a small HMC memory network, runs one workload
+// under network-aware power management, and prints the power breakdown and
+// performance — the fastest way to see the library end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memnet/internal/core"
+	"memnet/internal/exp"
+	"memnet/internal/sim"
+	"memnet/internal/topology"
+	"memnet/internal/workload"
+)
+
+func main() {
+	wl, err := workload.ByName("mixB")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	runner := exp.NewRunner()
+	runner.SimTime = 400 * sim.Microsecond
+
+	base := exp.Spec{
+		Workload: wl,
+		Topology: topology.Star,
+		Size:     exp.Small,
+	}
+
+	fp := runner.FPBaseline(base)
+	fmt.Printf("workload %s on a %s %s network (%d modules, %d issue slots)\n\n",
+		wl.Name, base.Size, base.Topology, fp.Modules, fp.Slots)
+	fmt.Printf("full power:      %6.2f W/HMC  (idle I/O %.0f%% of total)  %.1fM acc/s  chanUtil %.0f%%\n",
+		fp.PerHMC.Total(), 100*fp.IdleIOFraction(), fp.Throughput/1e6, 100*fp.ChannelUtil)
+
+	for _, pol := range []core.PolicyKind{core.PolicyUnaware, core.PolicyAware} {
+		spec := base
+		spec.Mech = exp.MechVWLROO
+		spec.Policy = pol
+		spec.Alpha = 0.05
+		res := runner.Run(spec)
+		fmt.Printf("%-16s %6.2f W/HMC  (idle I/O %.0f%% of total)  %.1fM acc/s  perf -%.1f%%\n",
+			pol.String()+":", res.PerHMC.Total(), 100*res.IdleIOFraction(),
+			res.Throughput/1e6, 100*runner.PerfDegradation(res))
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"memnet/internal/link"
+	"memnet/internal/network"
+	"memnet/internal/packet"
+	"memnet/internal/sim"
+	"memnet/internal/topology"
+)
+
+// Failure-injection tests (DESIGN.md §6): traffic patterns engineered to
+// defeat the FLO predictors, checking the violation machinery keeps the
+// damage bounded rather than letting a wrong prediction run all epoch.
+
+// adversarialRun drives a pathological injector against a policy and
+// returns the completed accesses relative to a full-power run of the same
+// injector.
+func adversarialRun(t *testing.T, policy PolicyKind, alpha float64,
+	injector func(k *sim.Kernel, net *network.Network, until sim.Time)) float64 {
+	t.Helper()
+	run := func(p PolicyKind) float64 {
+		k := sim.NewKernel()
+		topo, err := topology.Build(topology.DaisyChain, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := network.DefaultConfig()
+		cfg.Mechanism = link.MechVWL
+		cfg.ROO = true
+		net := network.New(k, topo, cfg)
+		Attach(k, net, DefaultConfig(p, alpha))
+		until := 8 * epoch
+		done := 0
+		// Injectors may install their own completion hook; chain the
+		// counter around whatever they set up.
+		injector(k, net, until)
+		inner := net.OnReadComplete
+		net.OnReadComplete = func(pkt *packet.Packet) {
+			done++
+			if inner != nil {
+				inner(pkt)
+			}
+		}
+		k.Run(until + 50*sim.Microsecond)
+		return float64(done)
+	}
+	fp := run(PolicyNone)
+	managed := run(policy)
+	if fp == 0 {
+		t.Fatal("no traffic completed under full power")
+	}
+	return managed / fp
+}
+
+// TestThresholdStraddlingBursts alternates idle gaps just above and below
+// the ROO thresholds so the idle-interval histogram keeps mispredicting;
+// throughput must stay within a loose bound of full power.
+func TestThresholdStraddlingBursts(t *testing.T) {
+	for _, policy := range []PolicyKind{PolicyUnaware, PolicyAware} {
+		ratio := adversarialRun(t, policy, 0.05, func(k *sim.Kernel, net *network.Network, until sim.Time) {
+			rng := sim.NewRNG(5)
+			gaps := []sim.Duration{
+				30 * sim.Nanosecond, 40 * sim.Nanosecond,
+				120 * sim.Nanosecond, 140 * sim.Nanosecond,
+				500 * sim.Nanosecond, 530 * sim.Nanosecond,
+				2000 * sim.Nanosecond, 2100 * sim.Nanosecond,
+			}
+			var inject func()
+			i := 0
+			inject = func() {
+				if k.Now() >= until {
+					return
+				}
+				burst := 1 + rng.Intn(6)
+				for b := 0; b < burst; b++ {
+					net.InjectRead(uint64(rng.Intn(2))*uint64(net.Cfg.ChunkBytes)+uint64(rng.Intn(997))*64, -1)
+				}
+				k.After(gaps[i%len(gaps)], inject)
+				i++
+			}
+			inject()
+		})
+		// The violation machinery cannot recover everything (detection is
+		// periodic), but must prevent collapse.
+		if ratio < 0.85 {
+			t.Fatalf("%v: threshold-straddling bursts collapsed throughput to %.0f%% of FP",
+				policy, 100*ratio)
+		}
+	}
+}
+
+// TestPhaseFlipTraffic switches abruptly between a long-idle phase (which
+// trains the policies into deep low-power modes) and saturation.
+func TestPhaseFlipTraffic(t *testing.T) {
+	for _, policy := range []PolicyKind{PolicyUnaware, PolicyAware} {
+		ratio := adversarialRun(t, policy, 0.05, func(k *sim.Kernel, net *network.Network, until sim.Time) {
+			inFlight := 0
+			phaseBusy := false
+			// Closed-loop saturation during busy phases.
+			net.OnReadComplete = func(*packet.Packet) {
+				inFlight--
+				if phaseBusy && k.Now() < until {
+					inFlight++
+					net.InjectRead(uint64(k.Now())%997*64, -1)
+				}
+			}
+			var flip func()
+			flip = func() {
+				if k.Now() >= until {
+					return
+				}
+				phaseBusy = !phaseBusy
+				if phaseBusy {
+					for inFlight < 24 {
+						inFlight++
+						net.InjectRead(uint64(net.Cfg.ChunkBytes)+uint64(inFlight)*64, -1)
+					}
+				}
+				k.After(150*sim.Microsecond, flip)
+			}
+			flip()
+		})
+		// Saturating bursts against links trained slow by the idle phase
+		// are the worst case for epoch-granularity management: each flip
+		// costs until violations fire. Bounded degradation (not the
+		// ~50%+ a saturated half-bandwidth link would imply) is the
+		// property under test.
+		if ratio < 0.75 {
+			t.Fatalf("%v: phase flips collapsed throughput to %.0f%% of FP", policy, 100*ratio)
+		}
+	}
+}
+
+// TestSingleHotModuleStarvation sends everything to the deepest module:
+// upstream links must not end up in modes that starve it.
+func TestSingleHotModuleStarvation(t *testing.T) {
+	for _, policy := range []PolicyKind{PolicyUnaware, PolicyAware} {
+		ratio := adversarialRun(t, policy, 0.05, func(k *sim.Kernel, net *network.Network, until sim.Time) {
+			// Closed loop of 16 slots, all to module 1.
+			count := 0
+			net.OnReadComplete = func(p *packet.Packet) {
+				if k.Now() < until {
+					count++
+					net.InjectRead(uint64(net.Cfg.ChunkBytes)+uint64(count%997)*64, p.Core)
+				}
+			}
+			for s := 0; s < 16; s++ {
+				net.InjectRead(uint64(net.Cfg.ChunkBytes)+uint64(s)*64, s)
+			}
+		})
+		if ratio < 0.90 {
+			t.Fatalf("%v: hot module throughput %.0f%% of FP", policy, 100*ratio)
+		}
+	}
+}

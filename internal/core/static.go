@@ -1,0 +1,53 @@
+package core
+
+import (
+	"memnet/internal/link"
+	"memnet/internal/network"
+)
+
+// applyStatic programs §VII-A's static fat/tapered-tree bandwidth
+// selection: with S(x) links at hop distance x and T total links, a link
+// at hop distance d gets
+//
+//	1/S(d) · (1 − Σ_{i<d} S(i)/T)
+//
+// of maximum bandwidth, raised to the nearest available bandwidth option.
+// The rationale: if traffic is spread evenly over the modules (the paper
+// pairs this with page-interleaved mapping), the fraction of traffic
+// crossing depth d is the share of modules at depth ≥ d, divided evenly
+// over the S(d) links that carry it. Static selection has no feedback, no
+// epochs, and no ROO modes.
+func applyStatic(net *network.Network) {
+	mech := net.Cfg.Mechanism
+	if mech == link.MechNone {
+		return
+	}
+	topo := net.Topo
+	s := topo.LinksAtDepth()
+	total := float64(topo.N())
+	// below[d] = fraction of modules at depth >= d.
+	maxD := topo.MaxDepth()
+	below := make([]float64, maxD+2)
+	for d := maxD; d >= 1; d-- {
+		below[d] = below[d+1] + float64(s[d])/total
+	}
+	for i := 0; i < topo.N(); i++ {
+		d := topo.Depth(i)
+		want := below[d] / float64(s[d])
+		mode := nearestBWMode(mech, want)
+		net.Modules[i].UpReq.SetBWMode(mode)
+		net.Modules[i].UpResp.SetBWMode(mode)
+	}
+}
+
+// nearestBWMode returns the least-bandwidth mode still providing at least
+// the requested fraction ("raised to the nearest available option").
+func nearestBWMode(mech link.Mechanism, want float64) int {
+	best := 0
+	for m := 0; m < link.NumModes(mech); m++ {
+		if link.BWFactor(mech, m) >= want {
+			best = m
+		}
+	}
+	return best
+}

@@ -1,0 +1,391 @@
+// Package dram models the DRAM arrays inside one HMC: 32 vaults, each with
+// a small bank pool behind a 32-bit 2 Gbps TSV data bus, operated with a
+// close-page policy and line-interleaved vault mapping (Table I of the
+// paper). The nominal read latency works out to tRCD + tCL + burst =
+// 11 + 11 + 8 = 30 ns, the figure the paper's management math uses.
+package dram
+
+import (
+	"fmt"
+
+	"memnet/internal/sim"
+)
+
+// PagePolicy selects the row-buffer policy.
+type PagePolicy int
+
+const (
+	// ClosePage precharges after every access (Table I, the paper's
+	// configuration): every access pays tRCD + tCL.
+	ClosePage PagePolicy = iota
+	// OpenPage leaves the row open: hits pay only tCL, conflicts pay
+	// tRP + tRCD + tCL. Off the paper's configuration; provided for
+	// ablations (the HMC spec permits either).
+	OpenPage
+)
+
+// Config holds the DRAM array parameters (Table I).
+type Config struct {
+	// Vaults per HMC.
+	Vaults int
+	// Banks per vault; activates to distinct banks can overlap subject
+	// to TRRD and data-bus serialization.
+	Banks int
+	// QueueDepth is the per-vault request buffer (Table I: 16 entries).
+	QueueDepth int
+	// LineBytes is the access granularity.
+	LineBytes int
+	// BusBits is the vault data bus width (x32) and BusGbps its rate.
+	BusBits int
+	BusGbps float64
+	// Timing parameters.
+	TCL, TRCD, TRAS, TRP, TRRD, TWR sim.Duration
+	// Refresh: every TREFI each vault performs an all-bank refresh that
+	// occupies it for TRFC. TREFI = 0 disables refresh.
+	TREFI, TRFC sim.Duration
+	// Page selects the row-buffer policy; RowBytes is the row size used
+	// for hit detection under OpenPage (default 2 KiB).
+	Page     PagePolicy
+	RowBytes int
+}
+
+// DefaultConfig returns Table I's parameters.
+func DefaultConfig() Config {
+	return Config{
+		Vaults:     32,
+		Banks:      8,
+		QueueDepth: 16,
+		LineBytes:  64,
+		BusBits:    32,
+		BusGbps:    2.0,
+		TCL:        11 * sim.Nanosecond,
+		TRCD:       11 * sim.Nanosecond,
+		TRAS:       22 * sim.Nanosecond,
+		TRP:        11 * sim.Nanosecond,
+		TRRD:       5 * sim.Nanosecond,
+		TWR:        12 * sim.Nanosecond,
+		TREFI:      7800 * sim.Nanosecond,
+		TRFC:       260 * sim.Nanosecond,
+		Page:       ClosePage,
+		RowBytes:   2 << 10,
+	}
+}
+
+// BurstTime is how long one line occupies the vault data bus.
+func (c Config) BurstTime() sim.Duration {
+	bits := float64(c.LineBytes * 8)
+	ns := bits / (float64(c.BusBits) * c.BusGbps)
+	return sim.FromNanos(ns)
+}
+
+// NominalReadLatency is the unloaded read latency (tRCD + tCL + burst).
+func (c Config) NominalReadLatency() sim.Duration {
+	return c.TRCD + c.TCL + c.BurstTime()
+}
+
+// TRC is the close-page bank cycle time (tRAS + tRP).
+func (c Config) TRC() sim.Duration { return c.TRAS + c.TRP }
+
+// PeakBandwidthBytesPerSec is the aggregate vault data-bus bandwidth of
+// the HMC, used to scale DRAM dynamic power.
+func (c Config) PeakBandwidthBytesPerSec() float64 {
+	return float64(c.Vaults) * float64(c.BusBits) * c.BusGbps * 1e9 / 8
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Vaults <= 0:
+		return fmt.Errorf("dram: vaults must be positive, got %d", c.Vaults)
+	case c.Banks <= 0:
+		return fmt.Errorf("dram: banks must be positive, got %d", c.Banks)
+	case c.QueueDepth <= 0:
+		return fmt.Errorf("dram: queue depth must be positive, got %d", c.QueueDepth)
+	case c.LineBytes <= 0 || c.BusBits <= 0 || c.BusGbps <= 0:
+		return fmt.Errorf("dram: line/bus parameters must be positive")
+	case c.TCL <= 0 || c.TRCD <= 0 || c.TRAS <= 0 || c.TRP <= 0 || c.TRRD < 0 || c.TWR < 0:
+		return fmt.Errorf("dram: timing parameters must be positive")
+	case c.TREFI < 0 || c.TRFC < 0 || (c.TREFI > 0 && c.TRFC > c.TREFI):
+		return fmt.Errorf("dram: invalid refresh parameters tREFI=%v tRFC=%v", c.TREFI, c.TRFC)
+	}
+	return nil
+}
+
+// request is one queued vault access.
+type request struct {
+	addr   uint64
+	isRead bool
+	done   func()
+}
+
+// vault serializes accesses through a bank pool and a shared data bus.
+type vault struct {
+	idx          int
+	bankFree     []sim.Time // next time each bank can start an activate
+	openRow      []int64    // per bank; -1 = precharged (OpenPage only)
+	lastActivate sim.Time
+	busFree      sim.Time
+	queue        []request // reads kept ahead of writes
+	inService    bool
+}
+
+// Stats aggregates DRAM activity for power and verification.
+type Stats struct {
+	Reads, Writes    uint64
+	BytesTransferred uint64
+	TotalReadLatency sim.Duration // actual, arrival to data
+	QueueFullRejects uint64
+	BusyTime         sim.Duration // data-bus occupancy across vaults
+	RefreshStalls    uint64
+	// Row-buffer outcomes (OpenPage only).
+	RowHits, RowConflicts uint64
+}
+
+// HMCDRAM is the DRAM stack of one module.
+type HMCDRAM struct {
+	cfg    Config
+	kernel *sim.Kernel
+	vaults []vault
+	stats  Stats
+
+	outstandingReads int
+	// OnReadStart, if set, fires when a read access enters service —
+	// the hook the proactive response-link wakeup ([22]) uses.
+	OnReadStart func()
+}
+
+// New builds the DRAM stack. It panics on invalid configuration: a config
+// is construction-time input, not runtime data.
+func New(k *sim.Kernel, cfg Config) *HMCDRAM {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	d := &HMCDRAM{cfg: cfg, kernel: k, vaults: make([]vault, cfg.Vaults)}
+	for i := range d.vaults {
+		d.vaults[i].idx = i
+		d.vaults[i].bankFree = make([]sim.Time, cfg.Banks)
+		d.vaults[i].openRow = make([]int64, cfg.Banks)
+		for b := range d.vaults[i].openRow {
+			d.vaults[i].openRow[b] = -1
+		}
+		// No activate has happened yet; far enough in the past that the
+		// tRRD window never binds the first access.
+		d.vaults[i].lastActivate = -(sim.Time(1) << 60)
+	}
+	return d
+}
+
+// rowOf maps an address to its row identifier for hit detection. Rows are
+// vault-local: with line-interleaved vault mapping, consecutive lines of a
+// row land in the same vault every Vaults lines.
+func (d *HMCDRAM) rowOf(addr uint64) int64 {
+	rb := d.cfg.RowBytes
+	if rb <= 0 {
+		rb = 2 << 10
+	}
+	linesPerRow := uint64(rb / d.cfg.LineBytes)
+	if linesPerRow == 0 {
+		linesPerRow = 1
+	}
+	vaultLine := addr / uint64(d.cfg.LineBytes*d.cfg.Vaults)
+	return int64(vaultLine / linesPerRow)
+}
+
+// refreshAdjust pushes a candidate activate time out of any all-bank
+// refresh window of the vault. Refresh is modelled analytically (every
+// vault refreshes for tRFC once per tREFI, phase-staggered by vault index)
+// rather than with events, so idle networks stay event-free and RunAll
+// terminates.
+func (d *HMCDRAM) refreshAdjust(vaultIdx int, start sim.Time) sim.Time {
+	if d.cfg.TREFI <= 0 {
+		return start
+	}
+	phase := d.cfg.TREFI * sim.Duration(vaultIdx+1) / sim.Duration(d.cfg.Vaults)
+	since := start - phase
+	if since < 0 {
+		return start
+	}
+	into := since % d.cfg.TREFI
+	if into < d.cfg.TRFC {
+		d.stats.RefreshStalls++
+		return start + (d.cfg.TRFC - into)
+	}
+	return start
+}
+
+// Config returns the active configuration.
+func (d *HMCDRAM) Config() Config { return d.cfg }
+
+// Stats returns a snapshot of accumulated statistics.
+func (d *HMCDRAM) Stats() Stats { return d.stats }
+
+// OutstandingReads reports reads queued or in flight; the network-aware
+// ROO policy keeps the module's response link on while this is non-zero.
+func (d *HMCDRAM) OutstandingReads() int { return d.outstandingReads }
+
+// VaultFor maps a physical address to its vault (line-interleaved).
+func (d *HMCDRAM) VaultFor(addr uint64) int {
+	return int((addr / uint64(d.cfg.LineBytes)) % uint64(d.cfg.Vaults))
+}
+
+// Access enqueues a line access. done fires when the access completes
+// (data burst finished for reads, write restored for writes). It returns
+// false if the vault queue is full, in which case the caller must retry —
+// the network layer holds the packet at the link controller in that case.
+func (d *HMCDRAM) Access(addr uint64, isRead bool, done func()) bool {
+	v := &d.vaults[d.VaultFor(addr)]
+	if len(v.queue) >= d.cfg.QueueDepth {
+		d.stats.QueueFullRejects++
+		return false
+	}
+	if isRead {
+		d.outstandingReads++
+		// Reads are prioritized: insert before the first write.
+		idx := len(v.queue)
+		for i, r := range v.queue {
+			if !r.isRead {
+				idx = i
+				break
+			}
+		}
+		v.queue = append(v.queue, request{})
+		copy(v.queue[idx+1:], v.queue[idx:])
+		v.queue[idx] = request{addr: addr, isRead: true, done: done}
+	} else {
+		v.queue = append(v.queue, request{addr: addr, isRead: false, done: done})
+	}
+	if !v.inService {
+		d.serviceNext(v)
+	}
+	return true
+}
+
+// serviceNext starts the head-of-queue access on vault v.
+func (d *HMCDRAM) serviceNext(v *vault) {
+	if len(v.queue) == 0 {
+		v.inService = false
+		return
+	}
+	v.inService = true
+	req := v.queue[0]
+	v.queue = v.queue[1:]
+
+	now := d.kernel.Now()
+	row := d.rowOf(req.addr)
+	// Bank selection: open page prefers a row hit, then a precharged
+	// bank, then the earliest free; close page takes the earliest free.
+	bank := 0
+	earliest := func() int {
+		b := 0
+		for i, t := range v.bankFree {
+			if t < v.bankFree[b] {
+				b = i
+			}
+		}
+		return b
+	}
+	if d.cfg.Page == OpenPage {
+		hit, closed := -1, -1
+		for i := range v.bankFree {
+			if v.openRow[i] == row && hit == -1 {
+				hit = i
+			}
+			if v.openRow[i] == -1 && closed == -1 {
+				closed = i
+			}
+		}
+		switch {
+		case hit >= 0:
+			bank = hit
+		case closed >= 0:
+			bank = closed
+		default:
+			bank = earliest()
+		}
+	} else {
+		bank = earliest()
+	}
+
+	start := now
+	if v.bankFree[bank] > start {
+		start = v.bankFree[bank]
+	}
+	isHit := d.cfg.Page == OpenPage && v.openRow[bank] == row
+	if !isHit && v.lastActivate+d.cfg.TRRD > start {
+		start = v.lastActivate + d.cfg.TRRD
+	}
+	start = d.refreshAdjust(v.idx, start)
+
+	// Command-to-data latency by row-buffer outcome.
+	var pre sim.Duration
+	switch {
+	case isHit:
+		pre = d.cfg.TCL
+		d.stats.RowHits++
+	case d.cfg.Page == OpenPage && v.openRow[bank] >= 0:
+		pre = d.cfg.TRP + d.cfg.TRCD + d.cfg.TCL
+		d.stats.RowConflicts++
+	default:
+		pre = d.cfg.TRCD + d.cfg.TCL
+	}
+
+	burst := d.cfg.BurstTime()
+	// The data burst must win the shared vault data bus.
+	dataStart := start + pre
+	if v.busFree > dataStart {
+		// Delay the whole access so the burst lands when the bus frees.
+		delta := v.busFree - dataStart
+		start += delta
+		dataStart += delta
+	}
+	dataEnd := dataStart + burst
+
+	if !isHit {
+		v.lastActivate = start
+	}
+	v.busFree = dataEnd
+	var bankBusyUntil sim.Time
+	if d.cfg.Page == OpenPage {
+		// The row stays open; the bank frees when the burst ends.
+		v.openRow[bank] = row
+		bankBusyUntil = dataEnd
+	} else {
+		// Close page: the bank is busy for a full tRC.
+		bankBusyUntil = start + d.cfg.TRC()
+	}
+	if !req.isRead {
+		// Writes additionally hold the bank for tWR.
+		bankBusyUntil += d.cfg.TWR
+	}
+	v.bankFree[bank] = bankBusyUntil
+
+	d.stats.BusyTime += burst
+	d.stats.BytesTransferred += uint64(d.cfg.LineBytes)
+
+	if req.isRead {
+		d.stats.Reads++
+		d.stats.TotalReadLatency += dataEnd - now
+		if d.OnReadStart != nil {
+			d.OnReadStart()
+		}
+	} else {
+		d.stats.Writes++
+	}
+
+	d.kernel.Schedule(dataEnd, func() {
+		if req.isRead {
+			d.outstandingReads--
+		}
+		if req.done != nil {
+			req.done()
+		}
+	})
+	// The vault can issue its next activate tRRD after this one (bank and
+	// bus conflicts are resolved when that access is scheduled), so the
+	// queue drains in a pipeline rather than one access per tRC.
+	nextIssue := start + d.cfg.TRRD
+	if nextIssue < now {
+		nextIssue = now
+	}
+	d.kernel.Schedule(nextIssue, func() { d.serviceNext(v) })
+}

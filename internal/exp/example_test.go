@@ -1,0 +1,38 @@
+package exp_test
+
+import (
+	"fmt"
+
+	"memnet/internal/core"
+	"memnet/internal/exp"
+	"memnet/internal/sim"
+	"memnet/internal/topology"
+	"memnet/internal/workload"
+)
+
+// Example runs one managed simulation through the harness and prints
+// derived quantities. (Power and throughput vary with the model, so the
+// example prints only structural facts.)
+func Example() {
+	wl, _ := workload.ByName("mixG")
+	res, err := exp.Run(exp.Spec{
+		Workload: wl,
+		Topology: topology.Star,
+		Size:     exp.Small,
+		Mech:     exp.MechVWLROO,
+		Policy:   core.PolicyAware,
+		Alpha:    0.05,
+		SimTime:  100 * sim.Microsecond,
+		Warmup:   20 * sim.Microsecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("modules:", res.Modules)
+	fmt.Println("has power:", res.Power.Total() > 0)
+	fmt.Println("has throughput:", res.Throughput > 0)
+	// Output:
+	// modules: 2
+	// has power: true
+	// has throughput: true
+}

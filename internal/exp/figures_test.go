@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"memnet/internal/sim"
+	"memnet/internal/workload"
+)
+
+// tinyRunner sweeps a single fast workload with microscopic sim windows so
+// every generator's full control flow runs in test time.
+func tinyRunner() *Runner {
+	r := NewRunner()
+	r.SimTime = 30 * sim.Microsecond
+	r.Warmup = 10 * sim.Microsecond
+	small := tinyProfile()
+	small.Name = "tiny" // 2 modules small, 8 big
+	r.Workloads = []*workload.Profile{small}
+	return r
+}
+
+// TestEveryGeneratorRenders runs every registered experiment end to end on
+// the reduced sweep and checks the output is a plausible table.
+func TestEveryGeneratorRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy generator sweep")
+	}
+	r := tinyRunner()
+	for _, e := range Registry {
+		if e.Name == "alphasweep" || e.Name == "scaling" || e.Name == "seeds" {
+			continue // fixed workload lists; covered separately
+		}
+		out := e.Run(r)
+		if len(out) < 40 || !strings.Contains(out, "\n") {
+			t.Errorf("%s rendered %d bytes", e.Name, len(out))
+		}
+	}
+}
+
+// TestAlphaSweepRenders covers the fixed-workload alpha sweep.
+func TestAlphaSweepRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy generator sweep")
+	}
+	r := NewRunner()
+	r.SimTime = 20 * sim.Microsecond
+	r.Warmup = 5 * sim.Microsecond
+	out := AlphaSweep(r)
+	if !strings.Contains(out, "alpha") || strings.Count(out, "\n") < 6 {
+		t.Errorf("alpha sweep output:\n%s", out)
+	}
+}
+
+// TestExtensionGeneratorsRender covers the fixed-workload extensions.
+func TestExtensionGeneratorsRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy generator sweep")
+	}
+	r := NewRunner()
+	r.SimTime = 20 * sim.Microsecond
+	r.Warmup = 5 * sim.Microsecond
+	for _, name := range []string{"scaling", "seeds"} {
+		e, _ := Lookup(name)
+		out := e.Run(r)
+		if strings.Count(out, "\n") < 4 {
+			t.Errorf("%s output:\n%s", name, out)
+		}
+	}
+}
+
+func TestReportHeader(t *testing.T) {
+	r := NewRunner()
+	if !strings.Contains(ReportHeader(r), "warmup") {
+		t.Fatal("header missing warmup")
+	}
+}

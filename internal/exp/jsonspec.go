@@ -1,0 +1,156 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"memnet/internal/core"
+	"memnet/internal/sim"
+	"memnet/internal/topology"
+	"memnet/internal/workload"
+)
+
+// SpecJSON is the declarative (file-friendly) form of a Spec, used by
+// `memnetsim -config`. All fields are strings/numbers so configuration
+// files stay readable:
+//
+//	{
+//	  "runs": [
+//	    {"workload": "mixB", "topology": "star", "size": "small",
+//	     "mechanism": "VWL+ROO", "policy": "aware", "alpha": 0.05,
+//	     "simtime": "400us", "warmup": "100us"}
+//	  ]
+//	}
+type SpecJSON struct {
+	Workload   string  `json:"workload"`
+	Topology   string  `json:"topology"`
+	Size       string  `json:"size"`
+	Mechanism  string  `json:"mechanism"`
+	Policy     string  `json:"policy"`
+	Alpha      float64 `json:"alpha"`
+	WakeupNS   int     `json:"wakeup_ns"`
+	SimTime    string  `json:"simtime"`
+	Warmup     string  `json:"warmup"`
+	Interleave bool    `json:"interleave"`
+}
+
+// BatchJSON is a config file: a list of runs.
+type BatchJSON struct {
+	Runs []SpecJSON `json:"runs"`
+}
+
+// ParseMech resolves the paper's mechanism labels.
+func ParseMech(s string) (Mech, error) {
+	for _, m := range []Mech{MechFP, MechVWL, MechROO, MechVWLROO, MechDVFS, MechDVFSROO} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return Mech{}, fmt.Errorf("exp: unknown mechanism %q (FP, VWL, ROO, VWL+ROO, DVFS, DVFS+ROO)", s)
+}
+
+// ParsePolicy resolves policy labels (short and long forms).
+func ParsePolicy(s string) (core.PolicyKind, error) {
+	switch s {
+	case "none", "fp", "full-power":
+		return core.PolicyNone, nil
+	case "unaware", "network-unaware":
+		return core.PolicyUnaware, nil
+	case "aware", "network-aware":
+		return core.PolicyAware, nil
+	case "static":
+		return core.PolicyStatic, nil
+	}
+	return 0, fmt.Errorf("exp: unknown policy %q (none, unaware, aware, static)", s)
+}
+
+// ParseSize resolves the study size.
+func ParseSize(s string) (NetworkSize, error) {
+	switch s {
+	case "small", "":
+		return Small, nil
+	case "big":
+		return Big, nil
+	}
+	return 0, fmt.Errorf("exp: unknown size %q (small, big)", s)
+}
+
+// ParseSimDuration converts "400us"-style strings to simulated time.
+func ParseSimDuration(s string) (sim.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	return sim.Duration(d.Nanoseconds()) * sim.Nanosecond, nil
+}
+
+// ToSpec resolves the declarative form.
+func (sj SpecJSON) ToSpec() (Spec, error) {
+	var spec Spec
+	wl, err := workload.ByName(sj.Workload)
+	if err != nil {
+		return spec, err
+	}
+	spec.Workload = wl
+	if sj.Topology == "" {
+		sj.Topology = "star"
+	}
+	if spec.Topology, err = topology.ParseKind(sj.Topology); err != nil {
+		return spec, err
+	}
+	if spec.Size, err = ParseSize(sj.Size); err != nil {
+		return spec, err
+	}
+	if sj.Mechanism == "" {
+		sj.Mechanism = "FP"
+	}
+	if spec.Mech, err = ParseMech(sj.Mechanism); err != nil {
+		return spec, err
+	}
+	if sj.Policy == "" {
+		sj.Policy = "none"
+	}
+	if spec.Policy, err = ParsePolicy(sj.Policy); err != nil {
+		return spec, err
+	}
+	spec.Alpha = sj.Alpha
+	spec.Wakeup = sim.Duration(sj.WakeupNS) * sim.Nanosecond
+	if spec.SimTime, err = ParseSimDuration(sj.SimTime); err != nil {
+		return spec, fmt.Errorf("exp: bad simtime: %w", err)
+	}
+	if spec.Warmup, err = ParseSimDuration(sj.Warmup); err != nil {
+		return spec, fmt.Errorf("exp: bad warmup: %w", err)
+	}
+	spec.Interleave = sj.Interleave
+	if spec.Policy != core.PolicyNone && spec.Policy != core.PolicyStatic && spec.Alpha <= 0 {
+		return spec, fmt.Errorf("exp: policy %v needs a positive alpha", spec.Policy)
+	}
+	return spec, nil
+}
+
+// LoadBatch parses a JSON config stream into runnable specs.
+func LoadBatch(r io.Reader) ([]Spec, error) {
+	var batch BatchJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&batch); err != nil {
+		return nil, fmt.Errorf("exp: parsing config: %w", err)
+	}
+	if len(batch.Runs) == 0 {
+		return nil, fmt.Errorf("exp: config has no runs")
+	}
+	specs := make([]Spec, 0, len(batch.Runs))
+	for i, sj := range batch.Runs {
+		spec, err := sj.ToSpec()
+		if err != nil {
+			return nil, fmt.Errorf("exp: run %d: %w", i, err)
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}

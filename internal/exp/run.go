@@ -1,0 +1,302 @@
+// Package exp is the experiment harness: it builds a network + workload +
+// policy from a declarative spec, runs the simulation with a warmup, and
+// measures the quantities the paper's tables and figures report. Figure
+// generators (figures.go) compose sweeps of these runs into the same
+// rows/series the paper plots.
+package exp
+
+import (
+	"fmt"
+
+	"memnet/internal/core"
+	"memnet/internal/link"
+	"memnet/internal/network"
+	"memnet/internal/power"
+	"memnet/internal/sim"
+	"memnet/internal/stats"
+	"memnet/internal/topology"
+	"memnet/internal/workload"
+)
+
+// NetworkSize selects the paper's two studies: small maps 4 GB of address
+// space per module, big maps 1 GB (§III-C).
+type NetworkSize int
+
+const (
+	// Small is the 4 GB/module study (avg 5 modules).
+	Small NetworkSize = iota
+	// Big is the 1 GB/module study (avg ~18 modules).
+	Big
+)
+
+// String implements fmt.Stringer.
+func (s NetworkSize) String() string {
+	if s == Small {
+		return "small"
+	}
+	return "big"
+}
+
+// ChunkGB returns the per-module address chunk.
+func (s NetworkSize) ChunkGB() int {
+	if s == Small {
+		return 4
+	}
+	return 1
+}
+
+// Mech bundles a bandwidth mechanism with the ROO flag, named like the
+// paper's series (FP, VWL, ROO, VWL+ROO, DVFS, DVFS+ROO).
+type Mech struct {
+	BW  link.Mechanism
+	ROO bool
+}
+
+// The mechanism sets the paper evaluates.
+var (
+	MechFP      = Mech{link.MechNone, false}
+	MechVWL     = Mech{link.MechVWL, false}
+	MechROO     = Mech{link.MechNone, true}
+	MechVWLROO  = Mech{link.MechVWL, true}
+	MechDVFS    = Mech{link.MechDVFS, false}
+	MechDVFSROO = Mech{link.MechDVFS, true}
+)
+
+// String implements fmt.Stringer.
+func (m Mech) String() string {
+	switch {
+	case m.BW == link.MechNone && !m.ROO:
+		return "FP"
+	case m.BW == link.MechNone && m.ROO:
+		return "ROO"
+	case m.ROO:
+		return m.BW.String() + "+ROO"
+	default:
+		return m.BW.String()
+	}
+}
+
+// Spec declares one simulation run.
+type Spec struct {
+	Workload *workload.Profile
+	Topology topology.Kind
+	Size     NetworkSize
+	Mech     Mech
+	Policy   core.PolicyKind
+	Alpha    float64
+	Wakeup   sim.Duration // 0 = 14 ns default
+	SimTime  sim.Duration // measured interval (after warmup)
+	Warmup   sim.Duration
+	// Interleave switches to page-interleaved mapping (§VII-A pairing
+	// for the static baseline).
+	Interleave bool
+	// CollectLinkHours enables the Fig. 13 histogram.
+	CollectLinkHours bool
+	// SeedSalt perturbs the workload seed (0 for the paper runs; used by
+	// robustness tests).
+	SeedSalt uint64
+}
+
+// key identifies a spec for memoization.
+func (s Spec) key() string {
+	return fmt.Sprintf("%s|%s|%s|%s|%s|%g|%d|%d|%d|%v|%v|%d",
+		s.Workload.Name, s.Topology, s.Size, s.Mech, s.Policy, s.Alpha,
+		s.Wakeup, s.SimTime, s.Warmup, s.Interleave, s.CollectLinkHours, s.SeedSalt)
+}
+
+// seed derives the workload seed. It deliberately excludes mechanism,
+// policy and α so that comparisons against the FP baseline are paired
+// (same arrival process), as in the paper's relative measurements.
+func (s Spec) seed() uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(str string) {
+		for i := 0; i < len(str); i++ {
+			h ^= uint64(str[i])
+			h *= 1099511628211
+		}
+	}
+	mix(s.Workload.Name)
+	mix(s.Topology.String())
+	mix(s.Size.String())
+	h ^= s.SeedSalt
+	return h
+}
+
+// Result carries every measurement the figures need.
+type Result struct {
+	Spec    Spec
+	Modules int
+	// Power is the average power over the measured interval for the
+	// whole network; PerHMC divides by the module count (Fig. 5/11).
+	Power  power.Breakdown
+	PerHMC power.Breakdown
+	// Throughput is completed accesses/s (the paper's performance
+	// metric for relative comparisons).
+	Throughput float64
+	// ChannelUtil is the busier direction of the processor link;
+	// LinkUtil the mean over all links (Fig. 9).
+	ChannelUtil float64
+	LinkUtil    float64
+	// LinksPerAccess is Fig. 6's metric.
+	LinksPerAccess float64
+	AvgReadLatency sim.Duration
+	// Read-latency tail over the measured interval.
+	P50, P95, P99 sim.Duration
+	Hist          *stats.LinkHourHist
+	Violations    uint64
+	Granted       uint64
+	Events        uint64
+	Slots         int
+}
+
+// IdleIOFraction returns idle I/O power over total network power (Fig. 8).
+func (r Result) IdleIOFraction() float64 {
+	t := r.Power.Total()
+	if t == 0 {
+		return 0
+	}
+	return r.Power.IdleIO / t
+}
+
+// DefaultSimTime and DefaultWarmup balance fidelity against the harness
+// running every paper sweep on one CPU; the paper's 10 ms windows are
+// available via the -simtime flag of cmd/experiments.
+var (
+	DefaultSimTime = 400 * sim.Microsecond
+	DefaultWarmup  = 100 * sim.Microsecond
+)
+
+// Run executes one spec.
+func Run(spec Spec) (Result, error) {
+	if spec.Workload == nil {
+		return Result{}, fmt.Errorf("exp: spec needs a workload")
+	}
+	if err := spec.Workload.Validate(); err != nil {
+		return Result{}, err
+	}
+	if spec.SimTime <= 0 {
+		spec.SimTime = DefaultSimTime
+	}
+	if spec.Warmup < 0 {
+		spec.Warmup = DefaultWarmup
+	}
+	if spec.Wakeup <= 0 {
+		spec.Wakeup = link.WakeupDefault
+	}
+
+	kernel := sim.NewKernel()
+	nModules := spec.Workload.Modules(spec.Size.ChunkGB())
+	topo, err := topology.Build(spec.Topology, nModules)
+	if err != nil {
+		return Result{}, err
+	}
+
+	netCfg := network.DefaultConfig()
+	netCfg.Mechanism = spec.Mech.BW
+	netCfg.ROO = spec.Mech.ROO
+	netCfg.Wakeup = spec.Wakeup
+	netCfg.ChunkBytes = uint64(spec.Size.ChunkGB()) << 30
+	netCfg.Interleave = spec.Interleave
+	net := network.New(kernel, topo, netCfg)
+
+	mcfg := core.DefaultConfig(spec.Policy, spec.Alpha)
+	mcfg.CollectLinkHours = spec.CollectLinkHours
+	mgr := core.Attach(kernel, net, mcfg)
+
+	fe, err := workload.NewFrontEnd(kernel, net, spec.Workload,
+		workload.DefaultFrontEndConfig(spec.seed()))
+	if err != nil {
+		return Result{}, err
+	}
+	fe.Start()
+
+	kernel.Run(spec.Warmup)
+	snap0 := net.TakeSnapshot()
+	net.LatencyHist().Reset()
+	kernel.Run(spec.Warmup + spec.SimTime)
+	snap1 := net.TakeSnapshot()
+
+	res := Result{
+		Spec:           spec,
+		Modules:        nModules,
+		Power:          network.IntervalPower(snap0, snap1),
+		Throughput:     network.Throughput(snap0, snap1),
+		ChannelUtil:    network.ChannelUtilization(snap0, snap1),
+		LinkUtil:       network.AvgLinkUtilization(snap0, snap1),
+		LinksPerAccess: network.LinksPerAccess(snap0, snap1),
+		AvgReadLatency: network.AvgReadLatency(snap0, snap1),
+		P50:            net.LatencyHist().Percentile(0.50),
+		P95:            net.LatencyHist().Percentile(0.95),
+		P99:            net.LatencyHist().Percentile(0.99),
+		Hist:           mgr.Hist,
+		Events:         kernel.Processed(),
+		Slots:          fe.Slots(),
+	}
+	res.PerHMC = res.Power.Scale(1 / float64(nModules))
+	res.Violations, res.Granted = mgr.Violations()
+	return res, nil
+}
+
+// Runner memoizes runs so figure generators can share FP baselines, and
+// centralizes sim-time overrides.
+type Runner struct {
+	SimTime sim.Duration
+	Warmup  sim.Duration
+	// Workloads restricts figure sweeps to a subset (nil = all 14 paper
+	// workloads). Tests use it to exercise the generators cheaply.
+	Workloads []*workload.Profile
+	// Progress, if non-nil, receives one line per fresh (non-cached) run.
+	Progress func(string)
+	cache    map[string]Result
+}
+
+// NewRunner returns a runner with the package defaults.
+func NewRunner() *Runner {
+	return &Runner{SimTime: DefaultSimTime, Warmup: DefaultWarmup, cache: map[string]Result{}}
+}
+
+// Run executes (or recalls) a spec with the runner's time settings.
+func (r *Runner) Run(spec Spec) Result {
+	if spec.SimTime <= 0 {
+		spec.SimTime = r.SimTime
+	}
+	if spec.Warmup <= 0 {
+		spec.Warmup = r.Warmup
+	}
+	k := spec.key()
+	if res, ok := r.cache[k]; ok {
+		return res
+	}
+	res, err := Run(spec)
+	if err != nil {
+		// Specs are assembled by the figure generators from validated
+		// inputs; an error here is a harness bug.
+		panic(fmt.Sprintf("exp: %v", err))
+	}
+	if r.Progress != nil {
+		r.Progress(fmt.Sprintf("ran %s (%.1fM events)", k, float64(res.Events)/1e6))
+	}
+	r.cache[k] = res
+	return res
+}
+
+// FPBaseline returns the paired full-power run for spec.
+func (r *Runner) FPBaseline(spec Spec) Result {
+	spec.Mech = MechFP
+	spec.Policy = core.PolicyNone
+	spec.Alpha = 0
+	spec.Wakeup = 0
+	spec.CollectLinkHours = false
+	spec.Interleave = false
+	return r.Run(spec)
+}
+
+// PerfDegradation returns the throughput loss of res vs the paired FP
+// baseline (positive = slower).
+func (r *Runner) PerfDegradation(res Result) float64 {
+	fp := r.FPBaseline(res.Spec)
+	if fp.Throughput == 0 {
+		return 0
+	}
+	return 1 - res.Throughput/fp.Throughput
+}

@@ -1,0 +1,42 @@
+package link_test
+
+import (
+	"fmt"
+
+	"memnet/internal/link"
+	"memnet/internal/packet"
+	"memnet/internal/sim"
+)
+
+// Example transmits one read response over a full-power link and prints
+// the timing components.
+func Example() {
+	k := sim.NewKernel()
+	l := link.New(k, link.Config{FullWatts: 0.586}, 0, link.DirResponse, 0, 0, packet.ProcessorID, 1)
+	l.Deliver = func(p *packet.Packet) {
+		fmt.Printf("delivered %v at %v\n", p.Kind, k.Now())
+	}
+	l.Enqueue(&packet.Packet{ID: 1, Kind: packet.ReadResp})
+	k.RunAll()
+	fmt.Println("serialization:", 5*link.FlitTimeFull)
+	fmt.Println("SERDES:       ", link.SERDESBase)
+	fmt.Println("router:       ", link.RouterLatency())
+	// Output:
+	// delivered ReadResp at 8.96ns
+	// serialization: 3.20ns
+	// SERDES:        3.20ns
+	// router:        2.56ns
+}
+
+// ExamplePowerFactor prints the paper's VWL power model: (lanes+1)/17.
+func ExamplePowerFactor() {
+	for m := 0; m < link.NumBWModes; m++ {
+		fmt.Printf("%2d lanes: %.3f of full power, %.4f of full bandwidth\n",
+			link.Lanes(m), link.PowerFactor(link.MechVWL, m), link.BWFactor(link.MechVWL, m))
+	}
+	// Output:
+	// 16 lanes: 1.000 of full power, 1.0000 of full bandwidth
+	//  8 lanes: 0.529 of full power, 0.5000 of full bandwidth
+	//  4 lanes: 0.294 of full power, 0.2500 of full bandwidth
+	//  1 lanes: 0.118 of full power, 0.0625 of full bandwidth
+}

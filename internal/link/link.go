@@ -1,0 +1,546 @@
+package link
+
+import (
+	"fmt"
+	"math"
+
+	"memnet/internal/packet"
+	"memnet/internal/sim"
+)
+
+// Direction distinguishes the two unidirectional link types: request links
+// carry traffic away from the processor, response links toward it.
+type Direction int
+
+const (
+	// DirRequest links carry ReadReq/WriteReq downstream.
+	DirRequest Direction = iota
+	// DirResponse links carry ReadResp upstream.
+	DirResponse
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	if d == DirRequest {
+		return "request"
+	}
+	return "response"
+}
+
+// State is the rapid-on/off state of a link.
+type State int
+
+const (
+	// StateOn: the link is powered and can transmit.
+	StateOn State = iota
+	// StateOff: the link is in the inaccessible 1%-power state.
+	StateOff
+	// StateWaking: the link is resynchronizing after an off period.
+	StateWaking
+)
+
+// Config selects a link's power-control capabilities.
+type Config struct {
+	// Mechanism is the bandwidth-scaling mechanism (none, VWL, DVFS).
+	Mechanism Mechanism
+	// ROO enables rapid on/off.
+	ROO bool
+	// Wakeup is the off→on resynchronization latency (14 or 20 ns).
+	Wakeup sim.Duration
+	// FullWatts is the link's full operating power (≈0.586 W).
+	FullWatts float64
+	// BER is the per-bit error rate. HMC links are CRC-protected with
+	// link-level retry: a corrupted packet is retransmitted after
+	// RetryDelay. 0 (the default, and the paper's model) disables error
+	// injection.
+	BER float64
+	// RetryDelay is the detection + retry-request turnaround (default
+	// 32 ns when BER > 0).
+	RetryDelay sim.Duration
+}
+
+// Link is one unidirectional point-to-point link plus its controller:
+// buffering with read priority, flit serialization at the current
+// bandwidth, SERDES delay, ROO state machine, energy integration, and the
+// management counters in Monitors.
+type Link struct {
+	kernel *sim.Kernel
+	cfg    Config
+
+	// Identity (immutable after construction).
+	ID    int
+	Dir   Direction
+	Owner int // module whose connectivity link this is (the downstream module of the full link)
+	From  int // transmitting module (packet.ProcessorID allowed)
+	To    int // receiving module (packet.ProcessorID allowed)
+	Depth int // hop distance of the full link's downstream endpoint
+
+	// Deliver receives each packet after its last flit clears SERDES at
+	// the far end. Wired by the network layer.
+	Deliver func(*packet.Packet)
+
+	// HoldOn, when set, vetoes turning the link off (network-aware ROO
+	// keeps response links on while reads are outstanding downstream).
+	HoldOn func() bool
+	// OnWakeStart fires when the link begins waking (off→waking), the
+	// hook the network-aware wakeup cascade uses.
+	OnWakeStart func()
+	// OnEnqueue fires when a packet enters the buffer (after arrival
+	// bookkeeping); the cascade uses it to pre-wake the next hop.
+	OnEnqueue func()
+	// OnTurnOff fires when the link powers down; the cascade uses it to
+	// let the upstream response link re-evaluate its own turn-off.
+	OnTurnOff func()
+
+	// Power-control state.
+	bwMode     int
+	bwTarget   int
+	bwTransEnd sim.Time
+	rooMode    int
+	state      State
+	forcedFull bool
+	offSeq     uint64
+
+	// Transmission state.
+	queue        []*packet.Packet
+	transmitting bool
+	idleSince    sim.Time
+	idleOpen     bool
+
+	// Energy/time integration.
+	lastAccount  sim.Time
+	energyIdle   float64 // joules
+	energyActive float64
+	totalBusy    sim.Duration
+	bytes        uint64
+	maxQueue     int
+	overflows    uint64
+	retries      uint64
+
+	errRNG *sim.RNG
+
+	mon *Monitors
+}
+
+// New creates a link. The caller wires Deliver before any traffic flows.
+func New(k *sim.Kernel, cfg Config, id int, dir Direction, owner, from, to, depth int) *Link {
+	if cfg.Wakeup <= 0 {
+		cfg.Wakeup = WakeupDefault
+	}
+	l := &Link{
+		kernel:      k,
+		cfg:         cfg,
+		ID:          id,
+		Dir:         dir,
+		Owner:       owner,
+		From:        from,
+		To:          to,
+		Depth:       depth,
+		rooMode:     ROOFullMode,
+		mon:         newMonitors(cfg.Mechanism, cfg.Wakeup),
+		lastAccount: k.Now(),
+	}
+	if cfg.BER > 0 {
+		if l.cfg.RetryDelay <= 0 {
+			l.cfg.RetryDelay = 32 * sim.Nanosecond
+		}
+		l.errRNG = sim.NewRNG(0x6c696e6b ^ uint64(id)<<20)
+	}
+	if cfg.ROO {
+		// A freshly built link is idle; open the idle interval so it can
+		// power down before ever carrying traffic.
+		l.enterIdle(k.Now())
+	}
+	return l
+}
+
+// corrupted decides whether a just-serialized packet failed its CRC.
+func (l *Link) corrupted(p *packet.Packet) bool {
+	if l.errRNG == nil {
+		return false
+	}
+	bits := float64(p.Bytes() * 8)
+	pErr := 1 - pow1m(l.cfg.BER, bits)
+	return l.errRNG.Float64() < pErr
+}
+
+// pow1m computes (1-ber)^bits stably for tiny ber.
+func pow1m(ber, bits float64) float64 {
+	if ber <= 0 {
+		return 1
+	}
+	if ber >= 1 {
+		return 0
+	}
+	// exp(bits × ln(1-ber)); for the tiny rates of interest this is
+	// ≈ 1 - bits×ber.
+	return math.Exp(bits * math.Log(1-ber))
+}
+
+// Retries counts CRC retransmissions performed by this link.
+func (l *Link) Retries() uint64 { return l.retries }
+
+// Config returns the link's capabilities.
+func (l *Link) Config() Config { return l.cfg }
+
+// Mon exposes the management counters.
+func (l *Link) Mon() *Monitors { return l.mon }
+
+// State returns the current ROO state.
+func (l *Link) State() State { return l.state }
+
+// BWMode returns the committed bandwidth mode.
+func (l *Link) BWMode() int { return l.bwMode }
+
+// BWTarget returns the bandwidth mode in effect after any transition.
+func (l *Link) BWTarget() int { return l.bwTarget }
+
+// ROOMode returns the current idleness-threshold index.
+func (l *Link) ROOMode() int { return l.rooMode }
+
+// QueueLen returns the number of buffered packets.
+func (l *Link) QueueLen() int { return len(l.queue) }
+
+// MaxQueue returns the high-water mark of the buffer.
+func (l *Link) MaxQueue() int { return l.maxQueue }
+
+// Overflows counts enqueues beyond the 128-entry hardware buffer. The
+// model keeps the packets (injection is bounded upstream) but reports the
+// condition.
+func (l *Link) Overflows() uint64 { return l.overflows }
+
+// EnergyJoules returns the idle and active I/O energy so far.
+func (l *Link) EnergyJoules() (idle, active float64) { return l.energyIdle, l.energyActive }
+
+// BusyTime returns total time spent serializing flits.
+func (l *Link) BusyTime() sim.Duration { return l.totalBusy }
+
+// Bytes returns total payload bytes transferred.
+func (l *Link) Bytes() uint64 { return l.bytes }
+
+// String identifies the link for diagnostics.
+func (l *Link) String() string {
+	return fmt.Sprintf("link%d(%s %d->%d)", l.ID, l.Dir, l.From, l.To)
+}
+
+// effBWLabel is the mode whose bandwidth currently binds (during a
+// transition the link runs at the slower of old and new).
+func (l *Link) effBWLabel(now sim.Time) int {
+	if now <= l.bwTransEnd && l.bwTarget != l.bwMode {
+		if l.bwTarget > l.bwMode { // higher index = less bandwidth
+			return l.bwTarget
+		}
+		return l.bwMode
+	}
+	return l.bwMode
+}
+
+// effBWFactor is the bandwidth factor currently deliverable.
+func (l *Link) effBWFactor(now sim.Time) float64 {
+	return BWFactor(l.cfg.Mechanism, l.effBWLabel(now))
+}
+
+// currentWatts is the instantaneous power draw.
+func (l *Link) currentWatts(now sim.Time) float64 {
+	if l.state == StateOff {
+		return l.cfg.FullWatts * OffPowerFraction
+	}
+	// During a bandwidth transition both configurations are partially
+	// powered; draw the higher of the two.
+	pf := PowerFactor(l.cfg.Mechanism, l.bwMode)
+	if now <= l.bwTransEnd && l.bwTarget != l.bwMode {
+		if p2 := PowerFactor(l.cfg.Mechanism, l.bwTarget); p2 > pf {
+			pf = p2
+		}
+	}
+	return l.cfg.FullWatts * pf
+}
+
+// account integrates energy and state-time up to now. Every state change
+// calls it first.
+func (l *Link) account(now sim.Time) {
+	d := now - l.lastAccount
+	if d <= 0 {
+		l.lastAccount = now
+		return
+	}
+	joules := l.currentWatts(now) * sim.Time(d).Seconds()
+	if l.transmitting {
+		l.energyActive += joules
+		l.totalBusy += d
+		l.mon.epoch.BusyTime += d
+	} else {
+		l.energyIdle += joules
+	}
+	l.mon.epoch.TimeInBWMode[l.effBWLabel(now)] += d
+	switch l.state {
+	case StateOff:
+		l.mon.epoch.OffTime += d
+	case StateWaking:
+		l.mon.epoch.WakingTime += d
+	}
+	l.lastAccount = now
+}
+
+// Enqueue accepts a packet into the link buffer (reads ahead of writes)
+// and starts transmission or wakeup as needed.
+func (l *Link) Enqueue(p *packet.Packet) {
+	now := l.kernel.Now()
+	l.account(now)
+	p.HopArrive = now
+	if l.idleOpen {
+		l.mon.observeIdleEnd(now - l.idleSince)
+		l.idleOpen = false
+	}
+	l.offSeq++ // cancel any pending off-check
+	l.mon.observeArrival(now, p)
+
+	if p.Kind.IsRead() {
+		idx := len(l.queue)
+		for i, q := range l.queue {
+			if !q.Kind.IsRead() {
+				idx = i
+				break
+			}
+		}
+		l.queue = append(l.queue, nil)
+		copy(l.queue[idx+1:], l.queue[idx:])
+		l.queue[idx] = p
+	} else {
+		l.queue = append(l.queue, p)
+	}
+	if len(l.queue) > l.maxQueue {
+		l.maxQueue = len(l.queue)
+	}
+	if len(l.queue) > BufferEntries {
+		l.overflows++
+	}
+
+	switch l.state {
+	case StateOff:
+		l.startWake()
+	case StateOn:
+		l.tryTransmit()
+	}
+	if l.OnEnqueue != nil {
+		l.OnEnqueue()
+	}
+}
+
+// tryTransmit starts serializing the head-of-queue packet if possible.
+func (l *Link) tryTransmit() {
+	if l.transmitting || len(l.queue) == 0 || l.state != StateOn {
+		return
+	}
+	now := l.kernel.Now()
+	l.account(now)
+	p := l.queue[0]
+	copy(l.queue, l.queue[1:])
+	l.queue = l.queue[:len(l.queue)-1]
+	l.transmitting = true
+
+	bw := l.effBWFactor(now)
+	ser := sim.Duration(float64(int64(FlitTimeFull)*int64(p.Flits()))/bw + 0.5)
+	end := now + ser
+	serdes := SERDESLatency(l.cfg.Mechanism, l.effBWLabel(now))
+	l.kernel.Schedule(end, func() {
+		l.account(end)
+		l.transmitting = false
+		if l.corrupted(p) {
+			// CRC failure: put the packet back at the head and
+			// retransmit after the retry turnaround.
+			l.retries++
+			l.queue = append(l.queue, nil)
+			copy(l.queue[1:], l.queue)
+			l.queue[0] = p
+			l.offSeq++ // keep ROO from sleeping mid-retry
+			l.kernel.After(l.cfg.RetryDelay, l.tryTransmit)
+			return
+		}
+		l.bytes += uint64(p.Bytes())
+		depart := end + serdes
+		l.mon.observeDeparture(p, depart-p.HopArrive)
+		// Delivery includes the receiving module's router traversal, so
+		// the receiver can act inline (one event per hop instead of two).
+		l.kernel.Schedule(depart+RouterLatency(), func() {
+			p.Hops++
+			l.Deliver(p)
+		})
+		if len(l.queue) > 0 {
+			l.tryTransmit()
+		} else {
+			l.enterIdle(end)
+		}
+	})
+}
+
+// enterIdle opens an idle interval and arms the ROO off-check.
+func (l *Link) enterIdle(now sim.Time) {
+	l.idleSince = now
+	l.idleOpen = true
+	l.armOffCheck(now, ROOThresholds[l.rooMode])
+}
+
+// armOffCheck schedules a turn-off attempt after the idleness threshold.
+func (l *Link) armOffCheck(now sim.Time, after sim.Duration) {
+	if !l.cfg.ROO || l.forcedFull {
+		return
+	}
+	l.offSeq++
+	seq := l.offSeq
+	l.kernel.Schedule(now+after, func() {
+		if l.offSeq != seq || l.state != StateOn || l.transmitting || len(l.queue) > 0 {
+			return
+		}
+		if l.HoldOn != nil && l.HoldOn() {
+			// Vetoed; try again one threshold later (the veto holder
+			// also calls MaybeTurnOff when its condition clears).
+			l.armOffCheck(l.kernel.Now(), ROOThresholds[l.rooMode])
+			return
+		}
+		t := l.kernel.Now()
+		l.account(t)
+		l.state = StateOff
+		if l.OnTurnOff != nil {
+			l.OnTurnOff()
+		}
+	})
+}
+
+// MaybeTurnOff turns the link off immediately if it is on, idle past its
+// threshold, and not vetoed. Network-aware ROO calls this when a veto
+// condition clears (DRAM drained, downstream links all off).
+func (l *Link) MaybeTurnOff() {
+	if !l.cfg.ROO || l.forcedFull || l.state != StateOn || l.transmitting || len(l.queue) > 0 {
+		return
+	}
+	now := l.kernel.Now()
+	if !l.idleOpen || now-l.idleSince < ROOThresholds[l.rooMode] {
+		return
+	}
+	if l.HoldOn != nil && l.HoldOn() {
+		return
+	}
+	l.account(now)
+	l.state = StateOff
+	if l.OnTurnOff != nil {
+		l.OnTurnOff()
+	}
+}
+
+// startWake begins the off→waking→on sequence.
+func (l *Link) startWake() {
+	if l.state != StateOff {
+		return
+	}
+	now := l.kernel.Now()
+	l.account(now)
+	l.state = StateWaking
+	if l.OnWakeStart != nil {
+		l.OnWakeStart()
+	}
+	l.kernel.Schedule(now+l.cfg.Wakeup, func() {
+		t := l.kernel.Now()
+		l.account(t)
+		l.state = StateOn
+		l.mon.epoch.Wakeups++
+		if len(l.queue) > 0 {
+			l.tryTransmit()
+		} else {
+			l.enterIdle(t)
+		}
+	})
+}
+
+// Wake proactively powers the link on (or keeps it on). On an off link it
+// starts the wakeup; on an on link it re-arms the off-check so the link
+// stays up for at least another threshold.
+func (l *Link) Wake() {
+	switch l.state {
+	case StateOff:
+		l.startWake()
+	case StateOn:
+		if !l.transmitting && len(l.queue) == 0 {
+			l.armOffCheck(l.kernel.Now(), ROOThresholds[l.rooMode])
+		}
+	}
+}
+
+// SetBWMode requests bandwidth mode m; the change completes after the
+// mechanism's transition latency, during which the link runs at the
+// slower of the two modes and draws the higher power.
+func (l *Link) SetBWMode(m int) {
+	if l.cfg.Mechanism == MechNone || m == l.bwTarget {
+		return
+	}
+	if m < 0 || m >= NumModes(l.cfg.Mechanism) {
+		panic(fmt.Sprintf("link: bandwidth mode %d out of range", m))
+	}
+	now := l.kernel.Now()
+	l.account(now)
+	// Commit any finished transition first.
+	if now >= l.bwTransEnd {
+		l.bwMode = l.bwTarget
+	}
+	l.bwTarget = m
+	end := now + TransitionLatency(l.cfg.Mechanism)
+	l.bwTransEnd = end
+	l.kernel.Schedule(end, func() {
+		if l.bwTransEnd != end || l.bwTarget != m {
+			return // superseded
+		}
+		l.account(end)
+		l.bwMode = m
+	})
+}
+
+// SetROOMode selects the idleness-threshold index.
+func (l *Link) SetROOMode(m int) {
+	if m < 0 || m >= NumROOModes {
+		panic(fmt.Sprintf("link: ROO mode %d out of range", m))
+	}
+	l.rooMode = m
+	if l.state == StateOn && !l.transmitting && len(l.queue) == 0 && l.idleOpen {
+		l.armOffCheck(l.kernel.Now(), ROOThresholds[m])
+	}
+}
+
+// ForceFullPower puts the link in full power until ClearForce (the §V
+// AMS-violation response): full bandwidth, ROO suspended, woken if off.
+func (l *Link) ForceFullPower() {
+	l.forcedFull = true
+	l.SetBWMode(0)
+	l.offSeq++ // cancel pending off-checks
+	if l.state == StateOff {
+		l.startWake()
+	}
+}
+
+// Forced reports whether the link is in the violation full-power state.
+func (l *Link) Forced() bool { return l.forcedFull }
+
+// ClearForce ends the violation state at an epoch boundary.
+func (l *Link) ClearForce() {
+	if !l.forcedFull {
+		return
+	}
+	l.forcedFull = false
+	if l.state == StateOn && !l.transmitting && len(l.queue) == 0 {
+		l.enterIdle(l.kernel.Now())
+	}
+}
+
+// ChargeControlFlits adds the transmission energy of n management flits
+// (ISP messages, AMS requests) to the link's active-I/O energy without
+// occupying the data path; the paper treats this traffic as negligible,
+// and charging it keeps the power accounting honest.
+func (l *Link) ChargeControlFlits(n int) {
+	seconds := (sim.Duration(n) * FlitTimeFull).Seconds()
+	l.energyActive += seconds * l.cfg.FullWatts
+}
+
+// FinishAccounting integrates energy up to now; call once at the end of a
+// simulation before reading energies.
+func (l *Link) FinishAccounting() {
+	l.account(l.kernel.Now())
+}

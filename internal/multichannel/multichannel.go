@@ -1,0 +1,166 @@
+// Package multichannel explores the paper's explicitly deferred axis
+// (§III-C: "we leave the exploration of power implication of any potential
+// inter-channel interactions to future work"): several physically
+// independent memory-network channels behind one processor, with physical
+// pages interleaved across channels, each channel running its own
+// management instance.
+package multichannel
+
+import (
+	"fmt"
+
+	"memnet/internal/core"
+	"memnet/internal/network"
+	"memnet/internal/power"
+	"memnet/internal/sim"
+	"memnet/internal/topology"
+	"memnet/internal/workload"
+)
+
+// Config builds a multi-channel system.
+type Config struct {
+	// Channels is the number of independent networks (≥1).
+	Channels int
+	// PageBytes is the cross-channel interleaving grain (default 4 KiB),
+	// the standard channel-interleaving the paper cites from [13].
+	PageBytes uint64
+	// Topology and ModulesPerChannel shape each channel.
+	Topology          topology.Kind
+	ModulesPerChannel int
+	// Network configures each channel's links and DRAM.
+	Network network.Config
+	// Management configures each channel's (independent) manager.
+	Management core.Config
+}
+
+// System is a set of channels sharing one physical address space.
+type System struct {
+	Kernel   *sim.Kernel
+	Cfg      Config
+	Channels []*network.Network
+	Managers []*core.Manager
+}
+
+// New builds and wires the system.
+func New(k *sim.Kernel, cfg Config) (*System, error) {
+	if cfg.Channels < 1 {
+		return nil, fmt.Errorf("multichannel: need at least one channel, got %d", cfg.Channels)
+	}
+	if cfg.PageBytes == 0 {
+		cfg.PageBytes = 4 << 10
+	}
+	if cfg.ModulesPerChannel < 1 {
+		return nil, fmt.Errorf("multichannel: need at least one module per channel")
+	}
+	s := &System{Kernel: k, Cfg: cfg}
+	for c := 0; c < cfg.Channels; c++ {
+		topo, err := topology.Build(cfg.Topology, cfg.ModulesPerChannel)
+		if err != nil {
+			return nil, err
+		}
+		net := network.New(k, topo, cfg.Network)
+		s.Channels = append(s.Channels, net)
+		s.Managers = append(s.Managers, core.Attach(k, net, cfg.Management))
+	}
+	return s, nil
+}
+
+// route splits a global physical address into (channel, channel-local
+// address): pages rotate across channels, and each channel sees a dense
+// local address space.
+func (s *System) route(addr uint64) (int, uint64) {
+	n := uint64(len(s.Channels))
+	page := addr / s.Cfg.PageBytes
+	offset := addr % s.Cfg.PageBytes
+	ch := page % n
+	local := (page/n)*s.Cfg.PageBytes + offset
+	return int(ch), local
+}
+
+// InjectRead implements workload.Injector.
+func (s *System) InjectRead(addr uint64, corein int) {
+	ch, local := s.route(addr)
+	s.Channels[ch].InjectRead(local, corein)
+}
+
+// InjectWrite implements workload.Injector.
+func (s *System) InjectWrite(addr uint64, corein int) {
+	ch, local := s.route(addr)
+	s.Channels[ch].InjectWrite(local, corein)
+}
+
+// CapacityBytes is the combined address space.
+func (s *System) CapacityBytes() uint64 {
+	var total uint64
+	for _, c := range s.Channels {
+		total += c.CapacityBytes()
+	}
+	return total
+}
+
+// AttachFrontEnd calibrates a front end over all channels (aggregate
+// bandwidth = channels × one link direction) and wires completions.
+func (s *System) AttachFrontEnd(p *workload.Profile, cfg workload.FrontEndConfig) (*workload.FrontEnd, error) {
+	est := workload.EstimateReadLatency(s.Channels[0], p)
+	bw := float64(len(s.Channels)) * workload.ChannelBandwidthBytesPerSec()
+	fe, err := workload.NewFrontEndOver(s.Kernel, s, p, cfg, est, bw)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range s.Channels {
+		c.OnReadComplete = fe.HandleReadComplete
+		c.OnWriteComplete = fe.HandleWriteComplete
+	}
+	return fe, nil
+}
+
+// Snapshot captures every channel.
+type Snapshot struct {
+	Channels []network.Snapshot
+}
+
+// TakeSnapshot snapshots all channels at the current instant.
+func (s *System) TakeSnapshot() Snapshot {
+	out := Snapshot{Channels: make([]network.Snapshot, len(s.Channels))}
+	for i, c := range s.Channels {
+		out.Channels[i] = c.TakeSnapshot()
+	}
+	return out
+}
+
+// IntervalPower sums average power across channels between snapshots.
+func IntervalPower(a, b Snapshot) power.Breakdown {
+	var sum power.Breakdown
+	for i := range a.Channels {
+		sum.Add(network.IntervalPower(a.Channels[i], b.Channels[i]))
+	}
+	return sum
+}
+
+// Throughput sums completed accesses per second across channels.
+func Throughput(a, b Snapshot) float64 {
+	var sum float64
+	for i := range a.Channels {
+		sum += network.Throughput(a.Channels[i], b.Channels[i])
+	}
+	return sum
+}
+
+// ChannelUtilizations returns each channel's processor-link utilization
+// over the interval — the balance check for the interleaving.
+func ChannelUtilizations(a, b Snapshot) []float64 {
+	out := make([]float64, len(a.Channels))
+	for i := range a.Channels {
+		out[i] = network.ChannelUtilization(a.Channels[i], b.Channels[i])
+	}
+	return out
+}
+
+// Modules returns the total module count.
+func (s *System) Modules() int {
+	n := 0
+	for _, c := range s.Channels {
+		n += c.Topo.N()
+	}
+	return n
+}

@@ -1,0 +1,171 @@
+package network_test
+
+import (
+	"testing"
+
+	"memnet/internal/core"
+	"memnet/internal/link"
+	"memnet/internal/network"
+	"memnet/internal/packet"
+	"memnet/internal/power"
+	"memnet/internal/sim"
+	"memnet/internal/topology"
+)
+
+// TestGlobalInvariantsUnderRandomTraffic drives random traffic through
+// random topologies/mechanisms/policies and asserts the conservation
+// properties that must hold regardless of configuration:
+//
+//  1. no packet loss: every injected read completes, every write retires
+//     (after the network drains);
+//  2. utilizations lie in [0, 1];
+//  3. link energy is bounded by full power × time below and off power ×
+//     time above;
+//  4. the energy breakdown components are non-negative and the I/O share
+//     equals the per-link sums;
+//  5. hop counts equal twice the destination depth for reads.
+func TestGlobalInvariantsUnderRandomTraffic(t *testing.T) {
+	for trial := 0; trial < 12; trial++ {
+		rng := sim.NewRNG(uint64(1000 + trial))
+		kind := topology.Kinds[trial%len(topology.Kinds)]
+		n := 2 + rng.Intn(12)
+		mech := []link.Mechanism{link.MechNone, link.MechVWL, link.MechDVFS}[trial%3]
+		roo := trial%2 == 0
+		policy := []core.PolicyKind{core.PolicyNone, core.PolicyUnaware, core.PolicyAware}[trial%3]
+
+		k := sim.NewKernel()
+		topo, err := topology.Build(kind, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := network.DefaultConfig()
+		cfg.Mechanism = mech
+		cfg.ROO = roo
+		net := network.New(k, topo, cfg)
+		core.Attach(k, net, core.DefaultConfig(policy, 0.05))
+
+		var issuedReads, issuedWrites uint64
+		var hopErrs int
+		net.OnReadComplete = func(p *packet.Packet) {
+			// The completion packet is the response: Src is the module
+			// that served the read.
+			if p.Hops != 2*topo.Depth(p.Src) {
+				hopErrs++
+			}
+		}
+		horizon := 250 * sim.Microsecond
+		var inject func()
+		inject = func() {
+			if k.Now() >= horizon {
+				return
+			}
+			addr := uint64(rng.Intn(n))*cfg.ChunkBytes + uint64(rng.Intn(1<<20))*64
+			if rng.Float64() < 0.7 {
+				issuedReads++
+				net.InjectRead(addr, -1)
+			} else {
+				issuedWrites++
+				net.InjectWrite(addr, -1)
+			}
+			k.After(sim.Duration(rng.Intn(3000))*sim.Nanosecond, inject)
+		}
+		// A few concurrent injection chains.
+		for i := 0; i < 4; i++ {
+			inject()
+		}
+		k.Run(horizon)
+		// Drain: run past the horizon with no new injections. Managed
+		// networks re-arm epoch events forever, so run to a deadline.
+		k.Run(horizon + 100*sim.Microsecond)
+
+		label := func() string {
+			return kind.String() + "/" + mech.String() + "/" + policy.String()
+		}
+		snap := net.TakeSnapshot()
+		if snap.ReadsDone != issuedReads || snap.WritesDone != issuedWrites {
+			t.Fatalf("%s: packet loss: reads %d/%d writes %d/%d",
+				label(), snap.ReadsDone, issuedReads, snap.WritesDone, issuedWrites)
+		}
+		if hopErrs > 0 {
+			t.Fatalf("%s: %d reads with wrong hop counts", label(), hopErrs)
+		}
+		elapsed := snap.At.Seconds()
+		for _, l := range net.Links {
+			u := float64(l.BusyTime()) / float64(snap.At)
+			if u < 0 || u > 1 {
+				t.Fatalf("%s: %v utilization %v", label(), l, u)
+			}
+			idle, active := l.EnergyJoules()
+			total := idle + active
+			// 1% headroom: ISP/grant control messages are charged on top
+			// of the time-integrated link power.
+			maxE := l.Config().FullWatts * elapsed * 1.01
+			minE := l.Config().FullWatts * power.OffLinkFraction * elapsed * 0.9999
+			if total > maxE || total < minE {
+				t.Fatalf("%s: %v energy %v outside [%v, %v]", label(), l, total, minE, maxE)
+			}
+		}
+		e := snap.Energy
+		for name, v := range map[string]float64{
+			"idleIO": e.IdleIO, "activeIO": e.ActiveIO,
+			"logicLeak": e.LogicLeak, "logicDyn": e.LogicDyn,
+			"dramLeak": e.DRAMLeak, "dramDyn": e.DRAMDyn,
+		} {
+			if v < 0 {
+				t.Fatalf("%s: negative %s energy %v", label(), name, v)
+			}
+		}
+	}
+}
+
+// TestReadsNeverLostUnderVaultPressure floods a single module beyond its
+// vault queues from several chains and checks full completion.
+func TestReadsNeverLostUnderVaultPressure(t *testing.T) {
+	k := sim.NewKernel()
+	topo, _ := topology.Build(topology.DaisyChain, 1)
+	net := network.New(k, topo, network.DefaultConfig())
+	const total = 2000
+	issued := 0
+	var inject func()
+	inject = func() {
+		if issued >= total {
+			return
+		}
+		issued++
+		net.InjectRead(uint64(issued%8)*64, -1) // 8 hot vaults
+		k.After(1*sim.Nanosecond, inject)
+	}
+	for i := 0; i < 4; i++ {
+		inject()
+	}
+	k.RunAll()
+	if got := net.TakeSnapshot().ReadsDone; got != total {
+		t.Fatalf("completed %d of %d reads", got, total)
+	}
+}
+
+// TestEnergyMonotone checks that cumulative energy never decreases across
+// snapshots.
+func TestEnergyMonotone(t *testing.T) {
+	k := sim.NewKernel()
+	topo, _ := topology.Build(topology.Star, 4)
+	cfg := network.DefaultConfig()
+	cfg.Mechanism = link.MechVWL
+	cfg.ROO = true
+	net := network.New(k, topo, cfg)
+	core.Attach(k, net, core.DefaultConfig(core.PolicyAware, 0.05))
+	rng := sim.NewRNG(77)
+	prev := net.TakeSnapshot()
+	for step := 0; step < 10; step++ {
+		for i := 0; i < 50; i++ {
+			net.InjectRead(uint64(rng.Intn(4))*cfg.ChunkBytes+uint64(rng.Intn(4096))*64, -1)
+		}
+		k.Run(k.Now() + 50*sim.Microsecond)
+		snap := net.TakeSnapshot()
+		if snap.Energy.Total() < prev.Energy.Total() {
+			t.Fatalf("energy decreased at step %d: %v -> %v",
+				step, prev.Energy.Total(), snap.Energy.Total())
+		}
+		prev = snap
+	}
+}

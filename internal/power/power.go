@@ -1,0 +1,124 @@
+// Package power holds the HMC power model the paper adopts from Pugsley et
+// al. [12] and the energy-accounting types shared by the simulator.
+//
+// Model (§III-B): a high-radix HMC at 12.5 Gbps/lane consumes 13.4 W peak,
+// split 43% DRAM dies, 22% logic, 35% I/O links. When idle, DRAM draws 10%
+// of its peak and logic 25% of its peak, while I/O draws the same power
+// idle as active (high-speed links keep transmitting to stay synchronized).
+// Low-radix HMC peak power is half (power tracks bandwidth), with the same
+// relative breakdown; since a low-radix part has half the links, per-link
+// I/O power is identical for both classes.
+package power
+
+import "fmt"
+
+// Model constants from [12] / §III-B.
+const (
+	HighRadixPeakWatts = 13.4
+	DRAMFraction       = 0.43
+	LogicFraction      = 0.22
+	IOFraction         = 0.35
+	DRAMIdleFraction   = 0.10 // of DRAM peak
+	LogicIdleFraction  = 0.25 // of logic peak
+	OffLinkFraction    = 0.01 // ROO off-state power, of full link power
+)
+
+// ModuleParams is the peak-power budget of one HMC class.
+type ModuleParams struct {
+	PeakWatts float64
+	UniLinks  int // unidirectional links (8 high radix, 4 low radix)
+	dramPeak  float64
+	logicPeak float64
+	ioPeak    float64
+}
+
+// ParamsForRadix returns the power budget for a module class.
+func ParamsForRadix(highRadix bool) ModuleParams {
+	peak := HighRadixPeakWatts
+	links := 8
+	if !highRadix {
+		peak = HighRadixPeakWatts / 2
+		links = 4
+	}
+	return ModuleParams{
+		PeakWatts: peak,
+		UniLinks:  links,
+		dramPeak:  peak * DRAMFraction,
+		logicPeak: peak * LogicFraction,
+		ioPeak:    peak * IOFraction,
+	}
+}
+
+// DRAMPeakWatts returns the DRAM dies' share of peak power.
+func (p ModuleParams) DRAMPeakWatts() float64 { return p.dramPeak }
+
+// LogicPeakWatts returns the logic share of peak power.
+func (p ModuleParams) LogicPeakWatts() float64 { return p.logicPeak }
+
+// IOPeakWatts returns the I/O share of peak power.
+func (p ModuleParams) IOPeakWatts() float64 { return p.ioPeak }
+
+// LinkFullWatts is the full power of one unidirectional link. It is the
+// same (≈0.586 W) for both radix classes.
+func (p ModuleParams) LinkFullWatts() float64 { return p.ioPeak / float64(p.UniLinks) }
+
+// DRAMLeakageWatts is the always-on DRAM power.
+func (p ModuleParams) DRAMLeakageWatts() float64 { return p.dramPeak * DRAMIdleFraction }
+
+// DRAMDynamicRangeWatts is the DRAM power swing between idle and peak.
+func (p ModuleParams) DRAMDynamicRangeWatts() float64 { return p.dramPeak * (1 - DRAMIdleFraction) }
+
+// LogicLeakageWatts is the always-on logic power.
+func (p ModuleParams) LogicLeakageWatts() float64 { return p.logicPeak * LogicIdleFraction }
+
+// LogicDynamicRangeWatts is the logic power swing between idle and peak.
+func (p ModuleParams) LogicDynamicRangeWatts() float64 { return p.logicPeak * (1 - LogicIdleFraction) }
+
+// Breakdown is an energy (joules) or power (watts) decomposition into the
+// six components of the paper's Fig. 5. The same struct serves both uses;
+// divide an energy breakdown by elapsed seconds to get power.
+type Breakdown struct {
+	IdleIO    float64
+	ActiveIO  float64
+	LogicLeak float64
+	LogicDyn  float64
+	DRAMLeak  float64
+	DRAMDyn   float64
+}
+
+// Total sums all components.
+func (b Breakdown) Total() float64 {
+	return b.IdleIO + b.ActiveIO + b.LogicLeak + b.LogicDyn + b.DRAMLeak + b.DRAMDyn
+}
+
+// IO sums the I/O components.
+func (b Breakdown) IO() float64 { return b.IdleIO + b.ActiveIO }
+
+// Add accumulates o into b.
+func (b *Breakdown) Add(o Breakdown) {
+	b.IdleIO += o.IdleIO
+	b.ActiveIO += o.ActiveIO
+	b.LogicLeak += o.LogicLeak
+	b.LogicDyn += o.LogicDyn
+	b.DRAMLeak += o.DRAMLeak
+	b.DRAMDyn += o.DRAMDyn
+}
+
+// Scale returns b with every component multiplied by f (e.g., 1/seconds to
+// convert energy to average power, or 1/nModules for per-HMC figures).
+func (b Breakdown) Scale(f float64) Breakdown {
+	return Breakdown{
+		IdleIO:    b.IdleIO * f,
+		ActiveIO:  b.ActiveIO * f,
+		LogicLeak: b.LogicLeak * f,
+		LogicDyn:  b.LogicDyn * f,
+		DRAMLeak:  b.DRAMLeak * f,
+		DRAMDyn:   b.DRAMDyn * f,
+	}
+}
+
+// String formats the breakdown compactly (useful in reports and tests).
+func (b Breakdown) String() string {
+	return fmt.Sprintf("idleIO=%.3f activeIO=%.3f logicLeak=%.3f logicDyn=%.3f dramLeak=%.3f dramDyn=%.3f total=%.3f",
+		b.IdleIO, b.ActiveIO, b.LogicLeak, b.LogicDyn, b.DRAMLeak, b.DRAMDyn, b.Total())
+}

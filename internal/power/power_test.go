@@ -1,0 +1,91 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestHighRadixBudget(t *testing.T) {
+	p := ParamsForRadix(true)
+	if p.PeakWatts != 13.4 || p.UniLinks != 8 {
+		t.Fatalf("params = %+v", p)
+	}
+	// 43/22/35 split of 13.4 W.
+	if !almost(p.DRAMPeakWatts(), 13.4*0.43) || !almost(p.LogicPeakWatts(), 13.4*0.22) ||
+		!almost(p.IOPeakWatts(), 13.4*0.35) {
+		t.Fatal("peak split wrong")
+	}
+	if !almost(p.DRAMPeakWatts()+p.LogicPeakWatts()+p.IOPeakWatts(), 13.4) {
+		t.Fatal("split does not sum to peak")
+	}
+	// §III-D's example: ~0.586 W per unidirectional link.
+	if !almost(p.LinkFullWatts(), 13.4*0.35/8) {
+		t.Fatalf("link watts = %v", p.LinkFullWatts())
+	}
+}
+
+func TestLowRadixBudget(t *testing.T) {
+	lo, hi := ParamsForRadix(false), ParamsForRadix(true)
+	if !almost(lo.PeakWatts, hi.PeakWatts/2) || lo.UniLinks != 4 {
+		t.Fatalf("low radix params = %+v", lo)
+	}
+	// Same per-link power for both classes (half the I/O, half the links).
+	if !almost(lo.LinkFullWatts(), hi.LinkFullWatts()) {
+		t.Fatal("per-link power differs between radix classes")
+	}
+}
+
+func TestIdleFractions(t *testing.T) {
+	p := ParamsForRadix(true)
+	if !almost(p.DRAMLeakageWatts(), 0.10*p.DRAMPeakWatts()) {
+		t.Fatal("DRAM idle fraction wrong")
+	}
+	if !almost(p.LogicLeakageWatts(), 0.25*p.LogicPeakWatts()) {
+		t.Fatal("logic idle fraction wrong")
+	}
+	if !almost(p.DRAMLeakageWatts()+p.DRAMDynamicRangeWatts(), p.DRAMPeakWatts()) {
+		t.Fatal("DRAM leak+dynamic != peak")
+	}
+	if !almost(p.LogicLeakageWatts()+p.LogicDynamicRangeWatts(), p.LogicPeakWatts()) {
+		t.Fatal("logic leak+dynamic != peak")
+	}
+}
+
+func TestBreakdownArithmetic(t *testing.T) {
+	// Constrain generated values to a physical range (watts-scale) so the
+	// identities hold within floating-point tolerance.
+	clamp := func(b Breakdown) Breakdown {
+		f := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 1
+			}
+			return math.Abs(math.Mod(x, 1000))
+		}
+		return Breakdown{f(b.IdleIO), f(b.ActiveIO), f(b.LogicLeak), f(b.LogicDyn), f(b.DRAMLeak), f(b.DRAMDyn)}
+	}
+	if err := quick.Check(func(ra, rb Breakdown) bool {
+		a, b := clamp(ra), clamp(rb)
+		sum := a
+		sum.Add(b)
+		if !almost(sum.Total(), a.Total()+b.Total()) {
+			return false
+		}
+		s := a.Scale(2)
+		return almost(s.Total(), 2*a.Total()) && almost(a.IO(), a.IdleIO+a.ActiveIO)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := Breakdown{IdleIO: 1, ActiveIO: 2, LogicLeak: 3, LogicDyn: 4, DRAMLeak: 5, DRAMDyn: 6}
+	if b.Total() != 21 {
+		t.Fatalf("total = %v", b.Total())
+	}
+	if b.String() == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,39 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"memnet/internal/sim"
+)
+
+// Example shows the event kernel's scheduling primitives.
+func Example() {
+	k := sim.NewKernel()
+	k.Schedule(10*sim.Nanosecond, func() {
+		fmt.Println("second at", k.Now())
+	})
+	k.Schedule(3*sim.Nanosecond, func() {
+		fmt.Println("first at", k.Now())
+		k.After(20*sim.Nanosecond, func() {
+			fmt.Println("chained at", k.Now())
+		})
+	})
+	k.RunAll()
+	// Output:
+	// first at 3.00ns
+	// second at 10.00ns
+	// chained at 23.00ns
+}
+
+// ExampleKernel_Run shows bounded execution: the clock advances to the
+// boundary even when the queue still holds later events.
+func ExampleKernel_Run() {
+	k := sim.NewKernel()
+	k.Schedule(5*sim.Microsecond, func() { fmt.Println("ran") })
+	k.Schedule(15*sim.Microsecond, func() { fmt.Println("never (within this Run)") })
+	k.Run(10 * sim.Microsecond)
+	fmt.Println("clock:", k.Now(), "pending:", k.Pending())
+	// Output:
+	// ran
+	// clock: 10.00us pending: 1
+}

@@ -1,0 +1,99 @@
+package sim
+
+import "container/heap"
+
+// event is a scheduled closure. seq breaks ties so that events scheduled
+// for the same instant run in insertion order, keeping runs deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation engine. The zero value is ready to
+// use; Schedule events and call Run.
+type Kernel struct {
+	events eventHeap
+	now    Time
+	seq    uint64
+	count  uint64
+}
+
+// NewKernel returns a kernel with some event capacity preallocated.
+func NewKernel() *Kernel {
+	return &Kernel{events: make(eventHeap, 0, 1024)}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Processed returns the number of events executed so far (for reporting
+// simulator throughput).
+func (k *Kernel) Processed() uint64 { return k.count }
+
+// Pending returns the number of events still queued.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Schedule runs fn at absolute time at. Scheduling in the past panics:
+// that is always a simulator bug, never a recoverable condition.
+func (k *Kernel) Schedule(at Time, fn func()) {
+	if at < k.now {
+		panic("sim: scheduling event in the past")
+	}
+	k.seq++
+	heap.Push(&k.events, event{at: at, seq: k.seq, fn: fn})
+}
+
+// After runs fn d picoseconds from now.
+func (k *Kernel) After(d Duration, fn func()) { k.Schedule(k.now+d, fn) }
+
+// Step executes the earliest pending event. It reports false if the queue
+// is empty.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(event)
+	k.now = e.at
+	k.count++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is exhausted or the next event lies
+// strictly after until; the clock is then advanced to until. Events at
+// exactly until are executed.
+func (k *Kernel) Run(until Time) {
+	for len(k.events) > 0 && k.events[0].at <= until {
+		k.Step()
+	}
+	if k.now < until {
+		k.now = until
+	}
+}
+
+// RunAll executes every pending event, including events scheduled by other
+// events, until the queue drains.
+func (k *Kernel) RunAll() {
+	for k.Step() {
+	}
+}

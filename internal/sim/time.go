@@ -1,0 +1,60 @@
+// Package sim provides the discrete-event simulation kernel used by every
+// other part of the memory-network simulator: a deterministic event queue,
+// an integer-picosecond clock, and a seedable random number generator.
+//
+// The kernel is intentionally minimal. Components schedule closures at
+// absolute simulated times; the kernel executes them in (time, insertion
+// order) order. All simulator state changes happen inside events, so a run
+// is fully deterministic for a given seed and configuration.
+package sim
+
+import "fmt"
+
+// Time is an absolute simulated time in picoseconds. Picoseconds are the
+// base unit because the flit transfer time of a full-width link (0.64 ns)
+// and the router clock are sub-nanosecond; an int64 of picoseconds covers
+// over 100 days of simulated time, far beyond any experiment here.
+type Time int64
+
+// Duration is a span of simulated time in picoseconds.
+type Duration = Time
+
+// Common durations.
+const (
+	Picosecond  Duration = 1
+	Nanosecond  Duration = 1000
+	Microsecond Duration = 1000 * Nanosecond
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// Nanoseconds converts t to nanoseconds as a float64 (for reporting).
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Seconds converts t to seconds as a float64 (for rates and power math).
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time with an adaptive unit for readability.
+func (t Time) String() string {
+	switch {
+	case t < Nanosecond:
+		return fmt.Sprintf("%dps", int64(t))
+	case t < Microsecond:
+		return fmt.Sprintf("%.2fns", t.Nanoseconds())
+	case t < Millisecond:
+		return fmt.Sprintf("%.2fus", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.4fs", t.Seconds())
+	}
+}
+
+// FromNanos builds a Duration from a floating-point nanosecond count,
+// rounding to the nearest picosecond.
+func FromNanos(ns float64) Duration {
+	if ns < 0 {
+		panic("sim: negative duration")
+	}
+	return Duration(ns*1000 + 0.5)
+}

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+
+	"memnet/internal/sim"
+)
+
+// LatencyHist is a log₂-bucketed latency histogram: bucket i counts
+// samples whose picosecond value has bit length i. Adding a sample is a
+// handful of instructions, so it can sit on the per-read completion path;
+// percentiles are approximate (sub-bucket linear interpolation), which is
+// plenty for tail reporting.
+type LatencyHist struct {
+	buckets [64]uint64
+	count   uint64
+	sum     sim.Duration
+	max     sim.Duration
+}
+
+// Add records one latency sample.
+func (h *LatencyHist) Add(d sim.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bits.Len64(uint64(d))]++
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of samples.
+func (h *LatencyHist) Count() uint64 { return h.count }
+
+// Mean returns the average latency.
+func (h *LatencyHist) Mean() sim.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / sim.Duration(h.count)
+}
+
+// Max returns the largest sample.
+func (h *LatencyHist) Max() sim.Duration { return h.max }
+
+// Percentile returns the approximate p-quantile (p in [0,1]).
+func (h *LatencyHist) Percentile(p float64) sim.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := uint64(p * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		if seen+c > target {
+			// Interpolate within [2^(i-1), 2^i).
+			lo := sim.Duration(0)
+			if i > 0 {
+				lo = sim.Duration(uint64(1) << uint(i-1))
+			}
+			hi := sim.Duration(uint64(1) << uint(i))
+			if i >= 63 {
+				hi = h.max
+			}
+			frac := float64(target-seen) / float64(c)
+			v := lo + sim.Duration(frac*float64(hi-lo))
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		seen += c
+	}
+	return h.max
+}
+
+// Reset clears the histogram (e.g., at the end of warmup).
+func (h *LatencyHist) Reset() { *h = LatencyHist{} }
+
+// String summarizes the distribution.
+func (h *LatencyHist) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.count, h.Mean(), h.Percentile(0.50), h.Percentile(0.95), h.Percentile(0.99), h.max)
+}

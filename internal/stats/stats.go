@@ -1,0 +1,133 @@
+// Package stats provides the measurement helpers shared by the experiment
+// harness: the link-hour histogram behind Fig. 13 and small numeric
+// utilities.
+package stats
+
+import (
+	"fmt"
+
+	"memnet/internal/sim"
+)
+
+// UtilBuckets are Fig. 13's link-utilization bins.
+var UtilBuckets = []struct {
+	Label string
+	Lo    float64
+	Hi    float64
+}{
+	{"0-1%", 0, 0.01},
+	{"1-5%", 0.01, 0.05},
+	{"5-10%", 0.05, 0.10},
+	{"10-20%", 0.10, 0.20},
+	{"20-100%", 0.20, 1.01},
+}
+
+// NumUtilBuckets is the number of utilization bins.
+const NumUtilBuckets = 5
+
+// UtilBucket returns the bin index for a utilization in [0,1].
+func UtilBucket(util float64) int {
+	for i, b := range UtilBuckets {
+		if util < b.Hi {
+			return i
+		}
+	}
+	return NumUtilBuckets - 1
+}
+
+// NumLaneModes mirrors link.NumBWModes (16/8/4/1 lanes) without importing
+// the package; kept in sync by a test.
+const NumLaneModes = 4
+
+// LinkHourHist accumulates, per (utilization bucket, lane mode), the link
+// time spent — Fig. 13's "fraction of total link hours".
+type LinkHourHist struct {
+	Seconds [NumUtilBuckets][NumLaneModes]float64
+	Total   float64
+}
+
+// Add records one link-epoch: its utilization during the epoch and the
+// time it spent in each bandwidth mode.
+func (h *LinkHourHist) Add(util float64, timeInMode [NumLaneModes]sim.Duration) {
+	b := UtilBucket(util)
+	for m, d := range timeInMode {
+		s := d.Seconds()
+		h.Seconds[b][m] += s
+		h.Total += s
+	}
+}
+
+// Merge accumulates o into h.
+func (h *LinkHourHist) Merge(o *LinkHourHist) {
+	for b := range h.Seconds {
+		for m := range h.Seconds[b] {
+			h.Seconds[b][m] += o.Seconds[b][m]
+		}
+	}
+	h.Total += o.Total
+}
+
+// Fraction returns the share of total link hours in (bucket, mode).
+func (h *LinkHourHist) Fraction(bucket, mode int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return h.Seconds[bucket][mode] / h.Total
+}
+
+// String renders the histogram as a table (rows = buckets, cols = modes).
+func (h *LinkHourHist) String() string {
+	out := "util\\lanes      16       8       4       1\n"
+	lanes := [NumLaneModes]int{16, 8, 4, 1}
+	_ = lanes
+	for b, bk := range UtilBuckets {
+		out += fmt.Sprintf("%-9s", bk.Label)
+		for m := 0; m < NumLaneModes; m++ {
+			out += fmt.Sprintf(" %6.2f%%", 100*h.Fraction(b, m))
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Max returns the maximum of xs (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// TopQuartileMean returns the mean of the largest quarter of xs — the
+// paper's "average top quarter worst-case" metric in §VII-A.
+func TopQuartileMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] > sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	n := (len(sorted) + 3) / 4
+	return Mean(sorted[:n])
+}

@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"memnet/internal/link"
+	"memnet/internal/sim"
+)
+
+func TestNumLaneModesMatchesLinkPackage(t *testing.T) {
+	if NumLaneModes != link.NumBWModes {
+		t.Fatalf("NumLaneModes = %d, link.NumBWModes = %d", NumLaneModes, link.NumBWModes)
+	}
+}
+
+func TestUtilBucket(t *testing.T) {
+	cases := []struct {
+		util float64
+		want int
+	}{
+		{0, 0}, {0.009, 0}, {0.01, 1}, {0.04, 1}, {0.05, 2},
+		{0.09, 2}, {0.1, 3}, {0.19, 3}, {0.2, 4}, {0.99, 4}, {1.0, 4},
+	}
+	for _, c := range cases {
+		if got := UtilBucket(c.util); got != c.want {
+			t.Errorf("UtilBucket(%v) = %d, want %d", c.util, got, c.want)
+		}
+	}
+}
+
+func TestLinkHourHistFractions(t *testing.T) {
+	h := &LinkHourHist{}
+	h.Add(0.005, [NumLaneModes]sim.Duration{100 * sim.Microsecond, 0, 0, 0})
+	h.Add(0.5, [NumLaneModes]sim.Duration{0, 100 * sim.Microsecond, 0, 0})
+	if got := h.Fraction(0, 0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("fraction(0,0) = %v", got)
+	}
+	if got := h.Fraction(4, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("fraction(4,1) = %v", got)
+	}
+	var total float64
+	for b := 0; b < NumUtilBuckets; b++ {
+		for m := 0; m < NumLaneModes; m++ {
+			total += h.Fraction(b, m)
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("fractions sum to %v", total)
+	}
+	if h.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestLinkHourHistMerge(t *testing.T) {
+	a, b := &LinkHourHist{}, &LinkHourHist{}
+	a.Add(0.5, [NumLaneModes]sim.Duration{sim.Microsecond, 0, 0, 0})
+	b.Add(0.5, [NumLaneModes]sim.Duration{sim.Microsecond, 0, 0, 0})
+	a.Merge(b)
+	if math.Abs(a.Total-2e-6) > 1e-15 {
+		t.Fatalf("merged total = %v", a.Total)
+	}
+}
+
+func TestEmptyHistFraction(t *testing.T) {
+	h := &LinkHourHist{}
+	if h.Fraction(0, 0) != 0 {
+		t.Fatal("empty hist fraction not zero")
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	if Mean(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty slices")
+	}
+	xs := []float64{1, 5, 3}
+	if Mean(xs) != 3 || Max(xs) != 5 {
+		t.Fatalf("mean=%v max=%v", Mean(xs), Max(xs))
+	}
+}
+
+func TestTopQuartileMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	// Top quarter = {8, 7}; mean 7.5.
+	if got := TopQuartileMean(xs); got != 7.5 {
+		t.Fatalf("top quartile = %v, want 7.5", got)
+	}
+	if got := TopQuartileMean([]float64{4}); got != 4 {
+		t.Fatalf("singleton = %v", got)
+	}
+	if TopQuartileMean(nil) != 0 {
+		t.Fatal("empty")
+	}
+	// Input must not be mutated.
+	if xs[0] != 1 || xs[7] != 8 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestLatencyHistBasics(t *testing.T) {
+	h := &LatencyHist{}
+	if h.Percentile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty hist not zero")
+	}
+	for i := 1; i <= 1000; i++ {
+		h.Add(sim.Duration(i) * sim.Nanosecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != sim.Duration(500500)*sim.Picosecond*1000/1000 {
+		// mean of 1..1000 ns = 500.5 ns
+		want := sim.FromNanos(500.5)
+		if h.Mean() != want {
+			t.Fatalf("mean = %v, want %v", h.Mean(), want)
+		}
+	}
+	if h.Max() != 1000*sim.Nanosecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+	// Log-bucket approximation: p50 within a factor of 2 of the truth.
+	p50 := h.Percentile(0.5)
+	if p50 < 250*sim.Nanosecond || p50 > 1000*sim.Nanosecond {
+		t.Fatalf("p50 = %v, want within [250ns, 1000ns]", p50)
+	}
+	if h.Percentile(1.0) < h.Percentile(0.5) {
+		t.Fatal("percentiles not monotone")
+	}
+	if h.Percentile(0) > h.Percentile(0.5) {
+		t.Fatal("percentiles not monotone at 0")
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestLatencyHistNegativeClamped(t *testing.T) {
+	h := &LatencyHist{}
+	h.Add(-5)
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Fatalf("negative sample handling: %v", h)
+	}
+}
+
+func TestLatencyHistSingleValue(t *testing.T) {
+	h := &LatencyHist{}
+	for i := 0; i < 100; i++ {
+		h.Add(64 * sim.Nanosecond)
+	}
+	p50 := h.Percentile(0.5)
+	// All samples in one bucket [2^15, 2^16) ps = [32.768ns, 65.536ns).
+	if p50 < 32*sim.Nanosecond || p50 > 66*sim.Nanosecond {
+		t.Fatalf("p50 = %v for constant 64ns input", p50)
+	}
+	if h.String() == "" {
+		t.Fatal("empty string")
+	}
+}

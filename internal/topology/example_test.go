@@ -1,0 +1,44 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"memnet/internal/topology"
+)
+
+// Example builds the paper's four topologies at the average small-network
+// size and prints their shapes.
+func Example() {
+	for _, kind := range topology.Kinds {
+		topo, err := topology.Build(kind, 5)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(topo)
+	}
+	// Output:
+	// daisychain(n=5, low=5, high=0, maxHops=5)
+	// ternary tree(n=5, low=0, high=5, maxHops=3)
+	// star(n=5, low=4, high=1, maxHops=3)
+	// DDRx-like(n=5, low=3, high=2, maxHops=3)
+}
+
+// ExampleTopology_PathFromProcessor shows downstream routing through a
+// ternary tree.
+func ExampleTopology_PathFromProcessor() {
+	topo, _ := topology.Build(topology.TernaryTree, 13)
+	fmt.Println(topo.PathFromProcessor(11))
+	fmt.Println(topo.NextHop(0, 11))
+	// Output:
+	// [0 3 11]
+	// 3
+}
+
+// ExampleTopology_LinksAtDepth shows the S(d) profile §VII-A's static
+// bandwidth formula consumes.
+func ExampleTopology_LinksAtDepth() {
+	topo, _ := topology.Build(topology.TernaryTree, 13)
+	fmt.Println(topo.LinksAtDepth()[1:])
+	// Output:
+	// [1 3 9]
+}

@@ -1,0 +1,370 @@
+// Package topology builds the minimally connected memory-network
+// topologies studied in the paper (Fig. 3): daisy chain, ternary tree,
+// star, and DDRx-like. A topology is a tree of HMC modules rooted at the
+// module attached to the processor; every edge is one full link (a pair of
+// unidirectional request/response links).
+//
+// Minimally connected topologies are acyclic by construction, so routing
+// is unique and no deadlock/livelock avoidance is needed — exactly the
+// setting the paper studies.
+//
+// The paper's Fig. 3 drawings leave some numbering ambiguous; the concrete
+// choices here are documented on each generator. Module i always holds the
+// i-th contiguous slice of the physical address space (4 GB in the small
+// network study, 1 GB in the big network study), matching §III-C.
+package topology
+
+import "fmt"
+
+// Kind selects one of the studied topologies.
+type Kind int
+
+const (
+	// DaisyChain is a single chain of low-radix HMCs:
+	// processor -> 0 -> 1 -> ... -> n-1.
+	DaisyChain Kind = iota
+	// TernaryTree is a BFS-numbered complete ternary tree of high-radix
+	// HMCs; it minimizes hop distance.
+	TernaryTree
+	// Star is one high-radix hub (module 0) attached to the processor,
+	// with three low-radix spokes grown ring by ring so that every ring
+	// is equidistant from the processor.
+	Star
+	// DDRxLike scales like DDRx DIMM ranks: rows of three modules, the
+	// first row's centre module attached to the processor, each
+	// subsequent row chained below the previous one.
+	DDRxLike
+)
+
+// Kinds lists every topology in the order the paper's figures use.
+var Kinds = []Kind{DaisyChain, TernaryTree, Star, DDRxLike}
+
+// String implements fmt.Stringer with the paper's labels.
+func (k Kind) String() string {
+	switch k {
+	case DaisyChain:
+		return "daisychain"
+	case TernaryTree:
+		return "ternary tree"
+	case Star:
+		return "star"
+	case DDRxLike:
+		return "DDRx-like"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind converts a label (as printed by String) back to a Kind.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("topology: unknown kind %q", s)
+}
+
+// Radix classifies an HMC by its number of full links, per the HMC spec:
+// high-radix parts have four full links, low-radix parts two.
+type Radix int
+
+const (
+	// LowRadix HMCs have two full links.
+	LowRadix Radix = 2
+	// HighRadix HMCs have four full links.
+	HighRadix Radix = 4
+)
+
+// ProcessorID is the parent ID of the root module.
+const ProcessorID = -1
+
+// Topology is an immutable module tree. Build validates all invariants, so
+// a Topology in hand is always well formed.
+type Topology struct {
+	kind     Kind
+	parent   []int
+	radix    []Radix
+	children [][]int
+	depth    []int // hops from the processor; root is 1
+	nextHop  [][]int
+}
+
+// Build constructs a topology of the given kind with n modules (n >= 1).
+func Build(kind Kind, n int) (*Topology, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: need at least 1 module, got %d", n)
+	}
+	var parent []int
+	var radix []Radix
+	switch kind {
+	case DaisyChain:
+		parent, radix = buildDaisyChain(n)
+	case TernaryTree:
+		parent, radix = buildTernaryTree(n)
+	case Star:
+		parent, radix = buildStar(n)
+	case DDRxLike:
+		parent, radix = buildDDRxLike(n)
+	default:
+		return nil, fmt.Errorf("topology: unknown kind %d", int(kind))
+	}
+	t := &Topology{kind: kind, parent: parent, radix: radix}
+	if err := t.finish(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// New constructs a topology from explicit parent pointers and radix
+// classes, for tests and custom layouts. parent[0] must be ProcessorID.
+func New(kind Kind, parent []int, radix []Radix) (*Topology, error) {
+	if len(parent) != len(radix) {
+		return nil, fmt.Errorf("topology: %d parents but %d radix classes", len(parent), len(radix))
+	}
+	t := &Topology{
+		kind:   kind,
+		parent: append([]int(nil), parent...),
+		radix:  append([]Radix(nil), radix...),
+	}
+	if err := t.finish(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// buildDaisyChain chains low-radix modules: each uses one full link up and
+// one down, the minimum-area configuration the paper picks for chains.
+func buildDaisyChain(n int) ([]int, []Radix) {
+	parent := make([]int, n)
+	radix := make([]Radix, n)
+	for i := range parent {
+		parent[i] = i - 1 // module 0 gets ProcessorID
+		radix[i] = LowRadix
+	}
+	return parent, radix
+}
+
+// buildTernaryTree numbers a complete ternary tree breadth-first: module i
+// has children 3i+1, 3i+2, 3i+3. All modules are high radix (one full link
+// up, up to three down).
+func buildTernaryTree(n int) ([]int, []Radix) {
+	parent := make([]int, n)
+	radix := make([]Radix, n)
+	for i := range parent {
+		if i == 0 {
+			parent[i] = ProcessorID
+		} else {
+			parent[i] = (i - 1) / 3
+		}
+		radix[i] = HighRadix
+	}
+	return parent, radix
+}
+
+// buildStar attaches one high-radix hub to the processor and grows three
+// low-radix spokes ring by ring: ring r holds modules 3(r-1)+1 .. 3r, each
+// directly below the same spoke's module in ring r-1. Small stars thus have
+// the same hop-distance multiset as the ternary tree while using a single
+// high-radix part, matching the paper's motivation for the topology.
+func buildStar(n int) ([]int, []Radix) {
+	parent := make([]int, n)
+	radix := make([]Radix, n)
+	parent[0] = ProcessorID
+	radix[0] = HighRadix
+	for i := 1; i < n; i++ {
+		if i <= 3 {
+			parent[i] = 0
+		} else {
+			parent[i] = i - 3
+		}
+		radix[i] = LowRadix
+	}
+	return parent, radix
+}
+
+// buildDDRxLike arranges modules in rows of three, like ranks of DIMMs:
+// row r is {centre 3r, left 3r+1, right 3r+2}; the left and right modules
+// attach to their row's centre, and each row's centre attaches to the
+// centre above it (row 0's centre to the processor). Capacity scales by
+// appending rows, the paper's "add ranks" analogy. Centre modules carry
+// up to four links (up, down, two siblings) and are high radix; the
+// leaves are low radix, giving the mixed-radix composition §III-A calls
+// for.
+func buildDDRxLike(n int) ([]int, []Radix) {
+	parent := make([]int, n)
+	radix := make([]Radix, n)
+	for i := 0; i < n; i++ {
+		row, pos := i/3, i%3
+		switch {
+		case pos == 0 && row == 0:
+			parent[i] = ProcessorID
+			radix[i] = HighRadix
+		case pos == 0:
+			parent[i] = 3 * (row - 1)
+			radix[i] = HighRadix
+		default:
+			parent[i] = 3 * row
+			radix[i] = LowRadix
+		}
+	}
+	return parent, radix
+}
+
+// finish derives children/depth/routing tables and validates invariants.
+func (t *Topology) finish() error {
+	n := len(t.parent)
+	t.children = make([][]int, n)
+	for i := 1; i < n; i++ {
+		p := t.parent[i]
+		if p < 0 || p >= n {
+			if i == 0 {
+				continue
+			}
+			return fmt.Errorf("topology: module %d has invalid parent %d", i, p)
+		}
+		if p >= i {
+			return fmt.Errorf("topology: module %d has parent %d >= itself; modules must be numbered so parents precede children", i, p)
+		}
+		t.children[p] = append(t.children[p], i)
+	}
+	if n > 0 && t.parent[0] != ProcessorID {
+		return fmt.Errorf("topology: module 0 must attach to the processor, has parent %d", t.parent[0])
+	}
+	for i := 1; i < n; i++ {
+		if t.parent[i] == ProcessorID {
+			return fmt.Errorf("topology: module %d attaches to the processor; only module 0 may", i)
+		}
+	}
+	// Radix budget: one full link upstream plus one per child.
+	for i := 0; i < n; i++ {
+		used := 1 + len(t.children[i])
+		if used > int(t.radix[i]) {
+			return fmt.Errorf("topology: module %d uses %d full links but is radix %d", i, used, t.radix[i])
+		}
+	}
+	// Depth (hop distance from the processor; the root is one hop away).
+	t.depth = make([]int, n)
+	for i := 0; i < n; i++ {
+		if t.parent[i] == ProcessorID {
+			t.depth[i] = 1
+		} else {
+			t.depth[i] = t.depth[t.parent[i]] + 1
+		}
+	}
+	// Downstream routing: nextHop[m][d] is the child of m on the path to
+	// d, or -1 if d is not in m's subtree (or d == m).
+	t.nextHop = make([][]int, n)
+	for m := range t.nextHop {
+		t.nextHop[m] = make([]int, n)
+		for d := range t.nextHop[m] {
+			t.nextHop[m][d] = -1
+		}
+	}
+	for d := 0; d < n; d++ {
+		// Walk up from d, recording the step taken into each ancestor.
+		child := d
+		for p := t.parent[d]; p != ProcessorID; p = t.parent[p] {
+			t.nextHop[p][d] = child
+			child = p
+		}
+	}
+	return nil
+}
+
+// Kind returns the topology kind.
+func (t *Topology) Kind() Kind { return t.kind }
+
+// N returns the number of modules.
+func (t *Topology) N() int { return len(t.parent) }
+
+// Parent returns module i's upstream neighbour (ProcessorID for the root).
+func (t *Topology) Parent(i int) int { return t.parent[i] }
+
+// Radix returns module i's radix class.
+func (t *Topology) Radix(i int) Radix { return t.radix[i] }
+
+// Children returns module i's downstream neighbours. The returned slice is
+// shared; callers must not modify it.
+func (t *Topology) Children(i int) []int { return t.children[i] }
+
+// Depth returns module i's hop distance from the processor (root = 1).
+func (t *Topology) Depth(i int) int { return t.depth[i] }
+
+// MaxDepth returns the worst-case hop distance in the network.
+func (t *Topology) MaxDepth() int {
+	max := 0
+	for _, d := range t.depth {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// NextHop returns the module to forward to from module m toward
+// destination d (downstream routing), or -1 if d is not strictly below m.
+func (t *Topology) NextHop(m, d int) int { return t.nextHop[m][d] }
+
+// PathFromProcessor returns the module sequence from the root to d,
+// inclusive.
+func (t *Topology) PathFromProcessor(d int) []int {
+	path := make([]int, 0, t.depth[d])
+	for i := d; i != ProcessorID; i = t.parent[i] {
+		path = append(path, i)
+	}
+	// Reverse in place.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// Subtree returns d and every module below it, in ascending ID order.
+func (t *Topology) Subtree(d int) []int {
+	var out []int
+	var walk func(int)
+	walk = func(m int) {
+		out = append(out, m)
+		for _, c := range t.children[m] {
+			walk(c)
+		}
+	}
+	walk(d)
+	// IDs are assigned parents-first but subtrees may interleave; sort.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// CountByRadix returns how many modules are low and high radix.
+func (t *Topology) CountByRadix() (low, high int) {
+	for _, r := range t.radix {
+		if r == HighRadix {
+			high++
+		} else {
+			low++
+		}
+	}
+	return low, high
+}
+
+// LinksAtDepth returns, for each hop distance d >= 1, the number of full
+// links whose downstream endpoint is at depth d (S(d) in the paper's
+// §VII-A static-selection formula). Index 0 is unused.
+func (t *Topology) LinksAtDepth() []int {
+	s := make([]int, t.MaxDepth()+1)
+	for _, d := range t.depth {
+		s[d]++
+	}
+	return s
+}
+
+// String summarizes the topology.
+func (t *Topology) String() string {
+	low, high := t.CountByRadix()
+	return fmt.Sprintf("%s(n=%d, low=%d, high=%d, maxHops=%d)", t.kind, t.N(), low, high, t.MaxDepth())
+}

@@ -1,0 +1,310 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func build(t *testing.T, k Kind, n int) *Topology {
+	t.Helper()
+	topo, err := Build(k, n)
+	if err != nil {
+		t.Fatalf("Build(%v, %d): %v", k, n, err)
+	}
+	return topo
+}
+
+// checkInvariants validates the structural properties every minimally
+// connected topology must have.
+func checkInvariants(t *testing.T, topo *Topology) {
+	t.Helper()
+	n := topo.N()
+	if topo.Parent(0) != ProcessorID {
+		t.Fatalf("root parent = %d", topo.Parent(0))
+	}
+	// Tree: every non-root has exactly one parent with smaller ID, so the
+	// graph is acyclic and connected with n-1 edges.
+	edges := 0
+	for i := 1; i < n; i++ {
+		p := topo.Parent(i)
+		if p < 0 || p >= i {
+			t.Fatalf("module %d parent %d violates parents-first numbering", i, p)
+		}
+		edges++
+	}
+	if edges != n-1 {
+		t.Fatalf("edges = %d, want %d", edges, n-1)
+	}
+	// Radix budgets.
+	for i := 0; i < n; i++ {
+		used := 1 + len(topo.Children(i))
+		if used > int(topo.Radix(i)) {
+			t.Fatalf("module %d uses %d full links with radix %d", i, used, topo.Radix(i))
+		}
+	}
+	// Depths are parent depth + 1.
+	for i := 1; i < n; i++ {
+		if topo.Depth(i) != topo.Depth(topo.Parent(i))+1 {
+			t.Fatalf("module %d depth %d, parent depth %d", i, topo.Depth(i), topo.Depth(topo.Parent(i)))
+		}
+	}
+	if n > 0 && topo.Depth(0) != 1 {
+		t.Fatalf("root depth = %d, want 1", topo.Depth(0))
+	}
+	// Routing: the path from the processor reaches every module, and
+	// NextHop agrees with it.
+	for d := 0; d < n; d++ {
+		path := topo.PathFromProcessor(d)
+		if path[0] != 0 || path[len(path)-1] != d {
+			t.Fatalf("path to %d = %v", d, path)
+		}
+		if len(path) != topo.Depth(d) {
+			t.Fatalf("path length %d != depth %d", len(path), topo.Depth(d))
+		}
+		for i := 0; i+1 < len(path); i++ {
+			if topo.NextHop(path[i], d) != path[i+1] {
+				t.Fatalf("NextHop(%d,%d) = %d, want %d", path[i], d, topo.NextHop(path[i], d), path[i+1])
+			}
+		}
+		if topo.NextHop(d, d) != -1 {
+			t.Fatalf("NextHop(%d,%d) should be -1", d, d)
+		}
+	}
+	// LinksAtDepth sums to n.
+	sum := 0
+	for _, s := range topo.LinksAtDepth() {
+		sum += s
+	}
+	if sum != n {
+		t.Fatalf("LinksAtDepth sums to %d, want %d", sum, n)
+	}
+}
+
+func TestAllKindsInvariants(t *testing.T) {
+	for _, k := range Kinds {
+		for _, n := range []int{1, 2, 3, 4, 5, 7, 9, 13, 17, 26, 33, 40} {
+			checkInvariants(t, build(t, k, n))
+		}
+	}
+}
+
+func TestInvariantsQuick(t *testing.T) {
+	if err := quick.Check(func(kindSel uint8, nRaw uint8) bool {
+		k := Kinds[int(kindSel)%len(Kinds)]
+		n := 1 + int(nRaw)%64
+		topo, err := Build(k, n)
+		if err != nil {
+			return false
+		}
+		if topo.N() != n {
+			return false
+		}
+		// Spot-check the invariants cheaply.
+		for i := 1; i < n; i++ {
+			if topo.Parent(i) >= i || topo.Depth(i) != topo.Depth(topo.Parent(i))+1 {
+				return false
+			}
+			if 1+len(topo.Children(i)) > int(topo.Radix(i)) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDaisyChainShape(t *testing.T) {
+	topo := build(t, DaisyChain, 5)
+	for i := 0; i < 5; i++ {
+		if topo.Parent(i) != i-1 {
+			t.Errorf("parent(%d) = %d", i, topo.Parent(i))
+		}
+		if topo.Radix(i) != LowRadix {
+			t.Errorf("module %d radix %d, want low", i, topo.Radix(i))
+		}
+		if topo.Depth(i) != i+1 {
+			t.Errorf("depth(%d) = %d", i, topo.Depth(i))
+		}
+	}
+	if topo.MaxDepth() != 5 {
+		t.Errorf("max depth = %d", topo.MaxDepth())
+	}
+}
+
+func TestTernaryTreeShape(t *testing.T) {
+	topo := build(t, TernaryTree, 13)
+	// BFS numbering: children of i are 3i+1..3i+3.
+	for i := 1; i < 13; i++ {
+		if topo.Parent(i) != (i-1)/3 {
+			t.Errorf("parent(%d) = %d, want %d", i, topo.Parent(i), (i-1)/3)
+		}
+	}
+	low, high := topo.CountByRadix()
+	if low != 0 || high != 13 {
+		t.Errorf("radix counts low=%d high=%d, want all high", low, high)
+	}
+	// 13 modules = root + 3 + 9: depth 3.
+	if topo.MaxDepth() != 3 {
+		t.Errorf("max depth = %d, want 3", topo.MaxDepth())
+	}
+}
+
+func TestStarShape(t *testing.T) {
+	topo := build(t, Star, 7)
+	low, high := topo.CountByRadix()
+	if high != 1 || low != 6 {
+		t.Errorf("star radix: low=%d high=%d, want 6/1", low, high)
+	}
+	// Hub at depth 1, ring 1 at depth 2, ring 2 at depth 3.
+	wantDepth := []int{1, 2, 2, 2, 3, 3, 3}
+	for i, w := range wantDepth {
+		if topo.Depth(i) != w {
+			t.Errorf("depth(%d) = %d, want %d", i, topo.Depth(i), w)
+		}
+	}
+}
+
+// TestStarMatchesTernaryTreeHopDistancesSmall checks the paper's claim
+// that for small networks star offers the same hop distances as the
+// ternary tree while requiring fewer high-radix HMCs.
+func TestStarMatchesTernaryTreeHopDistancesSmall(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4} {
+		star := build(t, Star, n)
+		tree := build(t, TernaryTree, n)
+		starH := map[int]int{}
+		treeH := map[int]int{}
+		for i := 0; i < n; i++ {
+			starH[star.Depth(i)]++
+			treeH[tree.Depth(i)]++
+		}
+		for d, c := range treeH {
+			if starH[d] != c {
+				t.Errorf("n=%d: hop multiset differs at depth %d: star %d vs tree %d", n, d, starH[d], c)
+			}
+		}
+		_, starHigh := star.CountByRadix()
+		_, treeHigh := tree.CountByRadix()
+		if n > 1 && starHigh >= treeHigh+1 {
+			t.Errorf("n=%d: star uses %d high-radix vs tree %d", n, starHigh, treeHigh)
+		}
+	}
+}
+
+func TestDDRxLikeShape(t *testing.T) {
+	topo := build(t, DDRxLike, 9)
+	// Rows of three: centres 0,3,6 form a high-radix spine, leaves hang
+	// off their row's centre.
+	for _, c := range []struct{ mod, parent int }{
+		{1, 0}, {2, 0}, {3, 0}, {4, 3}, {5, 3}, {6, 3}, {7, 6}, {8, 6},
+	} {
+		if topo.Parent(c.mod) != c.parent {
+			t.Errorf("parent(%d) = %d, want %d", c.mod, topo.Parent(c.mod), c.parent)
+		}
+	}
+	for i := 0; i < 9; i++ {
+		wantHigh := i%3 == 0
+		if (topo.Radix(i) == HighRadix) != wantHigh {
+			t.Errorf("module %d radix = %d", i, topo.Radix(i))
+		}
+	}
+	low, high := topo.CountByRadix()
+	if low != 6 || high != 3 {
+		t.Errorf("radix mix low=%d high=%d, want 6/3", low, high)
+	}
+	// The topology must differ from star beyond trivial sizes.
+	star := build(t, Star, 9)
+	same := true
+	for i := 0; i < 9; i++ {
+		if star.Parent(i) != topo.Parent(i) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("DDRx-like degenerated into the star topology")
+	}
+}
+
+func TestSubtree(t *testing.T) {
+	topo := build(t, TernaryTree, 13)
+	sub := topo.Subtree(1)
+	want := []int{1, 4, 5, 6}
+	if len(sub) != len(want) {
+		t.Fatalf("Subtree(1) = %v, want %v", sub, want)
+	}
+	for i := range want {
+		if sub[i] != want[i] {
+			t.Fatalf("Subtree(1) = %v, want %v", sub, want)
+		}
+	}
+	whole := topo.Subtree(0)
+	if len(whole) != 13 {
+		t.Fatalf("Subtree(0) has %d modules", len(whole))
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(DaisyChain, 0); err == nil {
+		t.Error("Build with n=0 should fail")
+	}
+	if _, err := Build(Kind(99), 3); err == nil {
+		t.Error("Build with unknown kind should fail")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	// A chain of low-radix modules with a 3-way branch must fail.
+	parent := []int{ProcessorID, 0, 0, 0}
+	radix := []Radix{LowRadix, LowRadix, LowRadix, LowRadix}
+	if _, err := New(DaisyChain, parent, radix); err == nil {
+		t.Error("radix violation not detected")
+	}
+	radix[0] = HighRadix
+	if _, err := New(DaisyChain, parent, radix); err != nil {
+		t.Errorf("valid custom topology rejected: %v", err)
+	}
+	// Child-before-parent numbering rejected.
+	if _, err := New(DaisyChain, []int{ProcessorID, 2, 1}, []Radix{LowRadix, LowRadix, LowRadix}); err == nil {
+		t.Error("forward parent reference not detected")
+	}
+	// Second processor attachment rejected.
+	if _, err := New(DaisyChain, []int{ProcessorID, ProcessorID}, []Radix{LowRadix, LowRadix}); err == nil {
+		t.Error("two processor attachments not detected")
+	}
+	// Mismatched slice lengths rejected.
+	if _, err := New(DaisyChain, []int{ProcessorID}, nil); err == nil {
+		t.Error("length mismatch not detected")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, k := range Kinds {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("mesh"); err == nil {
+		t.Error("ParseKind accepted unknown kind")
+	}
+}
+
+func TestLinksAtDepthDaisyChain(t *testing.T) {
+	topo := build(t, DaisyChain, 4)
+	s := topo.LinksAtDepth()
+	for d := 1; d <= 4; d++ {
+		if s[d] != 1 {
+			t.Errorf("S(%d) = %d, want 1", d, s[d])
+		}
+	}
+}
+
+func TestStringSummaries(t *testing.T) {
+	topo := build(t, Star, 7)
+	if topo.String() == "" || topo.Kind().String() != "star" {
+		t.Error("string summaries empty")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind string empty")
+	}
+}

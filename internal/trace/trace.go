@@ -1,0 +1,200 @@
+// Package trace records and replays memory access traces. The paper's
+// methodology is trace-ish (fixed fast-forward, then a measured window);
+// capturing the synthetic front end's access stream to a file makes runs
+// reproducible across configurations and lets external traces drive the
+// simulator.
+//
+// Format (little-endian, varint-packed, ~4-8 bytes per record):
+//
+//	magic "MNTRC1\n"
+//	records: uvarint(deltaPicoseconds<<1 | isWrite) uvarint(addr/64)
+//
+// Line-aligned addresses and monotone timestamps are enforced on write.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"memnet/internal/sim"
+)
+
+// Magic identifies a trace stream.
+const Magic = "MNTRC1\n"
+
+// LineBytes is the address granularity stored in traces.
+const LineBytes = 64
+
+// Record is one memory access.
+type Record struct {
+	At   sim.Time
+	Addr uint64
+	Read bool
+}
+
+// Writer streams records to an io.Writer.
+type Writer struct {
+	w      *bufio.Writer
+	last   sim.Time
+	count  uint64
+	header bool
+	buf    [2 * binary.MaxVarintLen64]byte
+}
+
+// NewWriter wraps w. The header is emitted lazily on the first record (or
+// Flush), so an unused writer produces no bytes.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+func (tw *Writer) ensureHeader() error {
+	if tw.header {
+		return nil
+	}
+	tw.header = true
+	_, err := tw.w.WriteString(Magic)
+	return err
+}
+
+// Write appends one record. Timestamps must be non-decreasing and
+// addresses line-aligned.
+func (tw *Writer) Write(r Record) error {
+	if err := tw.ensureHeader(); err != nil {
+		return err
+	}
+	if r.At < tw.last {
+		return fmt.Errorf("trace: timestamp %v before %v", r.At, tw.last)
+	}
+	if r.Addr%LineBytes != 0 {
+		return fmt.Errorf("trace: address %#x not %d-byte aligned", r.Addr, LineBytes)
+	}
+	delta := uint64(r.At-tw.last) << 1
+	if !r.Read {
+		delta |= 1
+	}
+	n := binary.PutUvarint(tw.buf[:], delta)
+	n += binary.PutUvarint(tw.buf[n:], r.Addr/LineBytes)
+	if _, err := tw.w.Write(tw.buf[:n]); err != nil {
+		return err
+	}
+	tw.last = r.At
+	tw.count++
+	return nil
+}
+
+// Count returns records written so far.
+func (tw *Writer) Count() uint64 { return tw.count }
+
+// Flush writes buffered data (and the header, for empty traces).
+func (tw *Writer) Flush() error {
+	if err := tw.ensureHeader(); err != nil {
+		return err
+	}
+	return tw.w.Flush()
+}
+
+// Reader streams records from an io.Reader.
+type Reader struct {
+	r    *bufio.Reader
+	last sim.Time
+}
+
+// NewReader validates the magic and returns a reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(head) != Magic {
+		return nil, errors.New("trace: bad magic; not a memnet trace")
+	}
+	return &Reader{r: br}, nil
+}
+
+// Read returns the next record, or io.EOF at the end of the stream.
+func (tr *Reader) Read() (Record, error) {
+	delta, err := binary.ReadUvarint(tr.r)
+	if err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("trace: corrupt delta: %w", err)
+	}
+	line, err := binary.ReadUvarint(tr.r)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: truncated record: %w", err)
+	}
+	tr.last += sim.Time(delta >> 1)
+	return Record{
+		At:   tr.last,
+		Addr: line * LineBytes,
+		Read: delta&1 == 0,
+	}, nil
+}
+
+// ReadAll drains the stream.
+func (tr *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := tr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// Summary aggregates trace statistics (cmd/memnettrace info).
+type Summary struct {
+	Records uint64
+	Reads   uint64
+	Writes  uint64
+	Span    sim.Duration
+	MaxAddr uint64
+	FirstAt sim.Time
+}
+
+// Summarize scans a stream.
+func Summarize(r io.Reader) (Summary, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return Summary{}, err
+	}
+	var s Summary
+	first := true
+	var lastAt sim.Time
+	for {
+		rec, err := tr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return s, err
+		}
+		if first {
+			s.FirstAt = rec.At
+			first = false
+		}
+		lastAt = rec.At
+		s.Records++
+		if rec.Read {
+			s.Reads++
+		} else {
+			s.Writes++
+		}
+		if rec.Addr > s.MaxAddr {
+			s.MaxAddr = rec.Addr
+		}
+	}
+	if !first {
+		s.Span = lastAt - s.FirstAt
+	}
+	return s, nil
+}

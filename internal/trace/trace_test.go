@@ -1,0 +1,335 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"memnet/internal/network"
+	"memnet/internal/packet"
+	"memnet/internal/sim"
+	"memnet/internal/topology"
+	"memnet/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	want := []Record{
+		{At: 0, Addr: 0, Read: true},
+		{At: 1000, Addr: 64, Read: false},
+		{At: 1000, Addr: 128, Read: true}, // equal timestamps allowed
+		{At: 5 * sim.Microsecond, Addr: 1 << 33, Read: true},
+	}
+	for _, r := range want {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	if err := quick.Check(func(deltas []uint32, lines []uint16, flags []bool) bool {
+		n := len(deltas)
+		if len(lines) < n {
+			n = len(lines)
+		}
+		if len(flags) < n {
+			n = len(flags)
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		var recs []Record
+		var at sim.Time
+		for i := 0; i < n; i++ {
+			at += sim.Time(deltas[i])
+			recs = append(recs, Record{At: at, Addr: uint64(lines[i]) * LineBytes, Read: flags[i]})
+			if w.Write(recs[i]) != nil {
+				return false
+			}
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := r.ReadAll()
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterRejectsBadRecords(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	if err := w.Write(Record{At: 100, Addr: 0, Read: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Record{At: 50, Addr: 0, Read: true}); err == nil {
+		t.Error("backwards timestamp accepted")
+	}
+	if err := w.Write(Record{At: 200, Addr: 7, Read: true}); err == nil {
+		t.Error("unaligned address accepted")
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("not a trace file"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+	// Truncated record after a valid header.
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	buf.WriteByte(0x80) // incomplete varint
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err == nil || err == io.EOF {
+		t.Error("corrupt record not detected")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Write(Record{At: 1000, Addr: 64, Read: true})
+	w.Write(Record{At: 3000, Addr: 256, Read: false})
+	w.Write(Record{At: 9000, Addr: 128, Read: true})
+	w.Flush()
+	s, err := Summarize(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Records != 3 || s.Reads != 2 || s.Writes != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Span != 8000 || s.FirstAt != 1000 || s.MaxAddr != 256 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func buildNet(t *testing.T) (*sim.Kernel, *network.Network) {
+	t.Helper()
+	k := sim.NewKernel()
+	topo, err := topology.Build(topology.DaisyChain, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, network.New(k, topo, network.DefaultConfig())
+}
+
+func TestRecorderCapturesInjections(t *testing.T) {
+	k, net := buildNet(t)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	rec := AttachRecorder(net, w)
+	k.Run(100 * sim.Nanosecond)
+	net.InjectRead(64, 0)
+	k.Run(200 * sim.Nanosecond)
+	net.InjectWrite(4096, 0)
+	k.RunAll()
+	if rec.Err() != nil {
+		t.Fatal(rec.Err())
+	}
+	w.Flush()
+	r, _ := NewReader(&buf)
+	got, _ := r.ReadAll()
+	if len(got) != 2 {
+		t.Fatalf("recorded %d", len(got))
+	}
+	if got[0] != (Record{At: 100 * sim.Nanosecond, Addr: 64, Read: true}) {
+		t.Fatalf("first record %+v", got[0])
+	}
+	if got[1] != (Record{At: 200 * sim.Nanosecond, Addr: 4096, Read: false}) {
+		t.Fatalf("second record %+v", got[1])
+	}
+}
+
+func TestPlayerReplaysAtRecordedTimes(t *testing.T) {
+	k, net := buildNet(t)
+	recs := []Record{
+		{At: 10 * sim.Nanosecond, Addr: 0, Read: true},
+		{At: 500 * sim.Nanosecond, Addr: 64, Read: true},
+		{At: 900 * sim.Nanosecond, Addr: 4<<30 + 64, Read: false},
+	}
+	var injected []sim.Time
+	net.OnInject = func(p *packet.Packet) { injected = append(injected, k.Now()) }
+	p, err := NewPlayer(k, net, recs, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	k.RunAll()
+	if !p.Done() || p.Injected() != 3 {
+		t.Fatalf("player state: done=%v injected=%d", p.Done(), p.Injected())
+	}
+	// Replay starts at kernel time 0 preserving inter-arrival gaps.
+	if injected[1]-injected[0] != 490*sim.Nanosecond {
+		t.Fatalf("gap = %v", injected[1]-injected[0])
+	}
+	if injected[2]-injected[1] != 400*sim.Nanosecond {
+		t.Fatalf("gap = %v", injected[2]-injected[1])
+	}
+}
+
+func TestPlayerTimeScale(t *testing.T) {
+	k, net := buildNet(t)
+	recs := []Record{
+		{At: 0, Addr: 0, Read: true},
+		{At: 1000 * sim.Nanosecond, Addr: 64, Read: true},
+	}
+	var times []sim.Time
+	net.OnInject = func(p *packet.Packet) { times = append(times, k.Now()) }
+	p, err := NewPlayer(k, net, recs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	k.RunAll()
+	if times[1]-times[0] != 500*sim.Nanosecond {
+		t.Fatalf("scaled gap = %v", times[1]-times[0])
+	}
+	if _, err := NewPlayer(k, net, recs, -1); err == nil {
+		t.Error("negative scale accepted")
+	}
+}
+
+func TestPlayerLargeTraceBatches(t *testing.T) {
+	k, net := buildNet(t)
+	var recs []Record
+	for i := 0; i < 3000; i++ {
+		recs = append(recs, Record{At: sim.Time(i) * 10 * sim.Nanosecond, Addr: uint64(i%512) * 64, Read: i%4 != 0})
+	}
+	p, err := NewPlayer(k, net, recs, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	k.RunAll()
+	if !p.Done() || p.Injected() != 3000 {
+		t.Fatalf("injected %d of 3000", p.Injected())
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ReadAll()
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("empty trace: %v, %d records", err, len(recs))
+	}
+	k, net := buildNet(t)
+	p, err := NewPlayer(k, net, nil, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	k.RunAll()
+	if !p.Done() {
+		t.Fatal("empty replay not done")
+	}
+}
+
+// TestRecordReplayFidelity records a real front-end run and replays it
+// against an identical network: the replay must complete the same number
+// of accesses with similar throughput.
+func TestRecordReplayFidelity(t *testing.T) {
+	build := func() (*sim.Kernel, *network.Network) {
+		k := sim.NewKernel()
+		topo, err := topology.Build(topology.Star, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k, network.New(k, topo, network.DefaultConfig())
+	}
+
+	// Record.
+	k1, net1 := build()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	rec := AttachRecorder(net1, w)
+	p, err := workload.ByName("mixG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := workload.NewFrontEnd(k1, net1, p, workload.DefaultFrontEndConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe.Start()
+	k1.Run(100 * sim.Microsecond)
+	if rec.Err() != nil {
+		t.Fatal(rec.Err())
+	}
+	w.Flush()
+	recorded := w.Count()
+	if recorded == 0 {
+		t.Fatal("nothing recorded")
+	}
+
+	// Replay.
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, net2 := build()
+	player, err := NewPlayer(k2, net2, records, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	player.Start()
+	k2.Run(150 * sim.Microsecond)
+	if player.Injected() != recorded {
+		t.Fatalf("replayed %d of %d", player.Injected(), recorded)
+	}
+	snap := net2.TakeSnapshot()
+	done := snap.ReadsDone + snap.WritesDone
+	if done != recorded {
+		t.Fatalf("completed %d of %d replayed accesses", done, recorded)
+	}
+}

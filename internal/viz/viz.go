@@ -1,0 +1,94 @@
+// Package viz renders memory-network state as text: the module tree with
+// per-link annotations, and sparklines for sampled time series. The
+// renderers are pure functions over the topology so they are unit-testable
+// without a simulation.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"memnet/internal/topology"
+)
+
+// RenderTree draws the module tree. annotate(module) supplies the text
+// appended to each module line (e.g., link modes and utilizations); nil
+// renders bare IDs.
+func RenderTree(topo *topology.Topology, annotate func(module int) string) string {
+	var b strings.Builder
+	b.WriteString("processor\n")
+	var walk func(mod int, prefix string, last bool)
+	walk = func(mod int, prefix string, last bool) {
+		connector := "├─ "
+		childPrefix := prefix + "│  "
+		if last {
+			connector = "└─ "
+			childPrefix = prefix + "   "
+		}
+		line := fmt.Sprintf("%s%s%d", prefix, connector, mod)
+		if annotate != nil {
+			if a := annotate(mod); a != "" {
+				line += "  " + a
+			}
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+		children := topo.Children(mod)
+		for i, c := range children {
+			walk(c, childPrefix, i == len(children)-1)
+		}
+	}
+	walk(0, "", true)
+	return b.String()
+}
+
+// sparkRunes are the eight block-element levels.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values scaled to [min, max] as unicode block levels.
+// An empty input renders as an empty string; a constant series renders at
+// the lowest level.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// Bar renders a fraction in [0,1] as a fixed-width meter, e.g. [####....].
+func Bar(frac float64, width int) string {
+	if width <= 0 {
+		return ""
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	filled := int(frac*float64(width) + 0.5)
+	return "[" + strings.Repeat("#", filled) + strings.Repeat(".", width-filled) + "]"
+}

@@ -1,0 +1,86 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"memnet/internal/topology"
+)
+
+func TestRenderTreeShape(t *testing.T) {
+	topo, err := topology.Build(topology.TernaryTree, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTree(topo, nil)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// processor + 5 modules.
+	if len(lines) != 6 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "processor" {
+		t.Fatalf("first line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "└─ 0") {
+		t.Fatalf("root line %q", lines[1])
+	}
+	// Every module appears exactly once.
+	for m := 0; m < 5; m++ {
+		count := 0
+		for _, l := range lines {
+			fields := strings.Fields(strings.NewReplacer("├─", "", "└─", "", "│", "").Replace(l))
+			for _, f := range fields {
+				if f == strings.TrimSpace(string(rune('0'+m))) {
+					count++
+				}
+			}
+		}
+		if count != 1 {
+			t.Fatalf("module %d appears %d times:\n%s", m, count, out)
+		}
+	}
+}
+
+func TestRenderTreeAnnotations(t *testing.T) {
+	topo, _ := topology.Build(topology.DaisyChain, 2)
+	out := RenderTree(topo, func(m int) string {
+		if m == 1 {
+			return "HOT"
+		}
+		return ""
+	})
+	if !strings.Contains(out, "1  HOT") {
+		t.Fatalf("annotation missing:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Fatal("empty input should render empty")
+	}
+	s := Sparkline([]float64{0, 0.5, 1})
+	runes := []rune(s)
+	if len(runes) != 3 {
+		t.Fatalf("length %d", len(runes))
+	}
+	if runes[0] != '▁' || runes[2] != '█' {
+		t.Fatalf("scaling wrong: %s", s)
+	}
+	// Constant series renders at the floor without dividing by zero.
+	c := []rune(Sparkline([]float64{3, 3, 3}))
+	if len(c) != 3 || c[0] != '▁' {
+		t.Fatalf("constant series: %s", string(c))
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(0.5, 8) != "[####....]" {
+		t.Fatalf("Bar(0.5,8) = %q", Bar(0.5, 8))
+	}
+	if Bar(-1, 4) != "[....]" || Bar(2, 4) != "[####]" {
+		t.Fatal("clamping broken")
+	}
+	if Bar(0.5, 0) != "" {
+		t.Fatal("zero width")
+	}
+}

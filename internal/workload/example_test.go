@@ -1,0 +1,37 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"memnet/internal/workload"
+)
+
+// Example prints the calibrated aggregate statistics of the 14 synthetic
+// workloads — the numbers that tie them to the paper's §III-C.
+func Example() {
+	var fp, util float64
+	for _, p := range workload.Profiles {
+		fp += float64(p.FootprintGB)
+		util += p.TargetChannelUtil
+	}
+	fmt.Printf("workloads: %d\n", len(workload.Profiles))
+	fmt.Printf("avg footprint: %.1f GB\n", fp/14)
+	fmt.Printf("avg target channel utilization: %.1f%%\n", 100*util/14)
+	// Output:
+	// workloads: 14
+	// avg footprint: 17.9 GB
+	// avg target channel utilization: 43.2%
+}
+
+// ExampleProfile_ModuleFractions shows how a workload's access CDF turns
+// into per-module traffic weights under the 4 GB-per-module mapping.
+func ExampleProfile_ModuleFractions() {
+	p, _ := workload.ByName("mixB")
+	for i, f := range p.ModuleFractions(4) {
+		fmt.Printf("module %d: %.0f%%\n", i, 100*f)
+	}
+	// Output:
+	// module 0: 48%
+	// module 1: 38%
+	// module 2: 14%
+}

@@ -1,0 +1,227 @@
+// Package workload substitutes the paper's gem5 full-system workloads
+// (seven 16-threaded NAS class-D benchmarks and seven four-application
+// cloud mixes, Table III) with synthetic trace generators.
+//
+// Substitution rationale (see DESIGN.md §3): the network power results are
+// driven by the memory traffic the processor emits — its footprint, its
+// channel utilization (Fig. 9), how accesses distribute across the address
+// space (Fig. 4, which with the contiguous-chunk-per-module mapping
+// determines per-module traffic), its read/write mix, and its burstiness
+// (which shapes the idle intervals ROO exploits). Each profile pins these
+// observable statistics to values consistent with the paper's figures; the
+// average footprint is ~17 GB (⇒ 5 modules small / ~18 big) and the
+// average channel utilization ~43%, as the paper reports.
+package workload
+
+import (
+	"fmt"
+
+	"memnet/internal/sim"
+)
+
+// CDFPoint anchors the cumulative access distribution: Cum of all accesses
+// fall at addresses below GB gigabytes. Points are linearly interpolated;
+// an implicit (0,0) starts every curve and the last point must reach the
+// footprint with Cum=1. Flat segments are the paper's "cold ranges".
+type CDFPoint struct {
+	GB  float64
+	Cum float64
+}
+
+// Profile describes one synthetic workload.
+type Profile struct {
+	Name  string
+	Class string // "HPC" or "cloud"
+	// Apps is the composition (Table III) the profile stands in for.
+	Apps string
+	// FootprintGB is the allocated memory; it sets the network size
+	// (ceil(footprint/4GB) modules small, ceil(footprint/1GB) big).
+	FootprintGB int
+	// AccessCDF shapes Fig. 4's cumulative access distribution.
+	AccessCDF []CDFPoint
+	// ReadFraction of accesses that are reads.
+	ReadFraction float64
+	// TargetChannelUtil is the intended utilization of the busier
+	// direction of the processor link (Fig. 9's "chan" series).
+	TargetChannelUtil float64
+	// BurstPeriod and BurstDuty shape the ON/OFF arrival modulation;
+	// traffic flows during BurstDuty of each period.
+	BurstPeriod sim.Duration
+	BurstDuty   float64
+}
+
+// Validate reports profile inconsistencies.
+func (p *Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("workload: empty name")
+	case p.FootprintGB <= 0:
+		return fmt.Errorf("workload %s: footprint must be positive", p.Name)
+	case p.ReadFraction < 0 || p.ReadFraction > 1:
+		return fmt.Errorf("workload %s: read fraction %f out of range", p.Name, p.ReadFraction)
+	case p.TargetChannelUtil <= 0 || p.TargetChannelUtil > 1:
+		return fmt.Errorf("workload %s: channel utilization %f out of range", p.Name, p.TargetChannelUtil)
+	case p.BurstDuty <= 0 || p.BurstDuty > 1:
+		return fmt.Errorf("workload %s: burst duty %f out of range", p.Name, p.BurstDuty)
+	case len(p.AccessCDF) == 0:
+		return fmt.Errorf("workload %s: empty access CDF", p.Name)
+	}
+	prevGB, prevCum := 0.0, 0.0
+	for i, pt := range p.AccessCDF {
+		if pt.GB < prevGB || pt.Cum < prevCum {
+			return fmt.Errorf("workload %s: CDF point %d not monotone", p.Name, i)
+		}
+		prevGB, prevCum = pt.GB, pt.Cum
+	}
+	last := p.AccessCDF[len(p.AccessCDF)-1]
+	if last.GB != float64(p.FootprintGB) || last.Cum != 1 {
+		return fmt.Errorf("workload %s: CDF must end at (footprint, 1), ends at (%g, %g)",
+			p.Name, last.GB, last.Cum)
+	}
+	return nil
+}
+
+// Modules returns the network size for a per-module chunk of chunkGB.
+func (p *Profile) Modules(chunkGB int) int {
+	n := (p.FootprintGB + chunkGB - 1) / chunkGB
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// CDFAt returns the cumulative access fraction below gb gigabytes.
+func (p *Profile) CDFAt(gb float64) float64 {
+	prev := CDFPoint{}
+	for _, pt := range p.AccessCDF {
+		if gb <= pt.GB {
+			if pt.GB == prev.GB {
+				return pt.Cum
+			}
+			f := (gb - prev.GB) / (pt.GB - prev.GB)
+			return prev.Cum + f*(pt.Cum-prev.Cum)
+		}
+		prev = pt
+	}
+	return 1
+}
+
+// ModuleFractions returns each module's share of accesses under the
+// contiguous chunkGB-per-module mapping — the per-module traffic weights
+// that Fig. 4 plus Fig. 3 determine.
+func (p *Profile) ModuleFractions(chunkGB int) []float64 {
+	n := p.Modules(chunkGB)
+	out := make([]float64, n)
+	prev := 0.0
+	for i := 0; i < n; i++ {
+		hi := p.CDFAt(float64((i + 1) * chunkGB))
+		out[i] = hi - prev
+		prev = hi
+	}
+	return out
+}
+
+// Profiles lists all 14 workloads in the paper's figure order.
+var Profiles = []*Profile{
+	// --- HPC: 16-threaded NAS class D ---
+	{
+		Name: "ua.D", Class: "HPC", Apps: "16T ua.D",
+		FootprintGB: 18, ReadFraction: 0.72, TargetChannelUtil: 0.35,
+		BurstPeriod: 8 * sim.Microsecond, BurstDuty: 0.65,
+		AccessCDF: []CDFPoint{{6, 0.45}, {12, 0.80}, {18, 1}},
+	},
+	{
+		Name: "lu.D", Class: "HPC", Apps: "16T lu.D",
+		FootprintGB: 20, ReadFraction: 0.70, TargetChannelUtil: 0.45,
+		BurstPeriod: 6 * sim.Microsecond, BurstDuty: 0.75,
+		AccessCDF: []CDFPoint{{5, 0.40}, {10, 0.72}, {16, 0.93}, {20, 1}},
+	},
+	{
+		Name: "bt.D", Class: "HPC", Apps: "16T bt.D",
+		FootprintGB: 26, ReadFraction: 0.68, TargetChannelUtil: 0.40,
+		BurstPeriod: 10 * sim.Microsecond, BurstDuty: 0.70,
+		AccessCDF: []CDFPoint{{8, 0.35}, {16, 0.68}, {22, 0.92}, {26, 1}},
+	},
+	{
+		// Lowest channel utilization in Fig. 9; mostly idle links.
+		Name: "sp.D", Class: "HPC", Apps: "16T sp.D",
+		FootprintGB: 28, ReadFraction: 0.70, TargetChannelUtil: 0.10,
+		BurstPeriod: 16 * sim.Microsecond, BurstDuty: 0.35,
+		AccessCDF: []CDFPoint{{7, 0.55}, {14, 0.80}, {20, 0.80}, {28, 1}},
+	},
+	{
+		Name: "cg.D", Class: "HPC", Apps: "16T cg.D",
+		FootprintGB: 18, ReadFraction: 0.80, TargetChannelUtil: 0.55,
+		BurstPeriod: 4 * sim.Microsecond, BurstDuty: 0.80,
+		AccessCDF: []CDFPoint{{4, 0.60}, {9, 0.85}, {18, 1}},
+	},
+	{
+		Name: "mg.D", Class: "HPC", Apps: "16T mg.D",
+		FootprintGB: 26, ReadFraction: 0.74, TargetChannelUtil: 0.60,
+		BurstPeriod: 5 * sim.Microsecond, BurstDuty: 0.85,
+		AccessCDF: []CDFPoint{{6, 0.30}, {13, 0.62}, {20, 0.88}, {26, 1}},
+	},
+	{
+		Name: "is.D", Class: "HPC", Apps: "16T is.D",
+		FootprintGB: 33, ReadFraction: 0.64, TargetChannelUtil: 0.50,
+		BurstPeriod: 7 * sim.Microsecond, BurstDuty: 0.75,
+		AccessCDF: []CDFPoint{{8, 0.28}, {17, 0.55}, {25, 0.80}, {33, 1}},
+	},
+	// --- Cloud: four-application mixes (Table III). Memory is allocated
+	// in invocation order, so each app occupies a contiguous region and
+	// the CDF steps hard where high-MPKI apps (mcf, GemsFDTD, omnetpp)
+	// sit and flattens over low-MPKI apps (sjeng, wrf). ---
+	{
+		Name: "mixA", Class: "cloud", Apps: "4 bwaves, 4 cactusADM, 4 wrf, ocean_cp",
+		FootprintGB: 15, ReadFraction: 0.70, TargetChannelUtil: 0.40,
+		BurstPeriod: 6 * sim.Microsecond, BurstDuty: 0.70,
+		AccessCDF: []CDFPoint{{5, 0.42}, {9, 0.72}, {12, 0.80}, {15, 1}},
+	},
+	{
+		// Highest channel utilization in Fig. 9 (~75%).
+		Name: "mixB", Class: "cloud", Apps: "4 mcf, 4 GemsFDTD, 4T barnes, 4T radiosity",
+		FootprintGB: 12, ReadFraction: 0.78, TargetChannelUtil: 0.75,
+		BurstPeriod: 3 * sim.Microsecond, BurstDuty: 0.90,
+		AccessCDF: []CDFPoint{{4, 0.48}, {8, 0.86}, {10, 0.95}, {12, 1}},
+	},
+	{
+		Name: "mixC", Class: "cloud", Apps: "4 omnetpp, 4 mcf, 4 wrf, 4T ocean_cp",
+		FootprintGB: 12, ReadFraction: 0.76, TargetChannelUtil: 0.50,
+		BurstPeriod: 5 * sim.Microsecond, BurstDuty: 0.75,
+		AccessCDF: []CDFPoint{{3, 0.35}, {7, 0.78}, {10, 0.88}, {12, 1}},
+	},
+	{
+		Name: "mixD", Class: "cloud", Apps: "4 sjeng, 4 cactusADM, 4T radiosity, 4T fft",
+		FootprintGB: 10, ReadFraction: 0.68, TargetChannelUtil: 0.25,
+		BurstPeriod: 12 * sim.Microsecond, BurstDuty: 0.50,
+		AccessCDF: []CDFPoint{{2, 0.10}, {5, 0.45}, {8, 0.75}, {10, 1}},
+	},
+	{
+		Name: "mixE", Class: "cloud", Apps: "4 cactusADM, 4 sjeng, 4 wrf, 4T fft",
+		FootprintGB: 11, ReadFraction: 0.67, TargetChannelUtil: 0.30,
+		BurstPeriod: 10 * sim.Microsecond, BurstDuty: 0.55,
+		AccessCDF: []CDFPoint{{3, 0.40}, {6, 0.52}, {9, 0.78}, {11, 1}},
+	},
+	{
+		Name: "mixF", Class: "cloud", Apps: "4 cactusADM, 4 bwaves, 4 sjeng, 4T fft",
+		FootprintGB: 13, ReadFraction: 0.69, TargetChannelUtil: 0.35,
+		BurstPeriod: 9 * sim.Microsecond, BurstDuty: 0.60,
+		AccessCDF: []CDFPoint{{4, 0.38}, {8, 0.74}, {10, 0.80}, {13, 1}},
+	},
+	{
+		Name: "mixG", Class: "cloud", Apps: "4 mcf, 4 omnetpp, 4 astar, 4T fft",
+		FootprintGB: 8, ReadFraction: 0.79, TargetChannelUtil: 0.55,
+		BurstPeriod: 4 * sim.Microsecond, BurstDuty: 0.80,
+		AccessCDF: []CDFPoint{{2, 0.40}, {4, 0.70}, {6, 0.90}, {8, 1}},
+	},
+}
+
+// ByName returns the named profile.
+func ByName(name string) (*Profile, error) {
+	for _, p := range Profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown profile %q", name)
+}

@@ -1,0 +1,51 @@
+package workload
+
+import "memnet/internal/sim"
+
+// Sampler draws physical addresses distributed per a profile's access CDF.
+// Sampling inverts the piecewise-linear CDF: a uniform variate picks a
+// segment by cumulative mass and interpolates a byte address within it, so
+// a module's expected share of accesses equals its CDF mass exactly.
+type Sampler struct {
+	// Segment boundaries in bytes and cumulative mass at each boundary.
+	bounds []uint64
+	cum    []float64
+	line   uint64
+}
+
+// NewSampler builds a sampler for p. lineBytes aligns addresses.
+func NewSampler(p *Profile, lineBytes int) *Sampler {
+	s := &Sampler{line: uint64(lineBytes)}
+	s.bounds = append(s.bounds, 0)
+	s.cum = append(s.cum, 0)
+	for _, pt := range p.AccessCDF {
+		s.bounds = append(s.bounds, uint64(pt.GB*float64(1<<30)))
+		s.cum = append(s.cum, pt.Cum)
+	}
+	return s
+}
+
+// Sample returns a line-aligned address drawn from the CDF.
+func (s *Sampler) Sample(rng *sim.RNG) uint64 {
+	u := rng.Float64()
+	// Find the first boundary with cum >= u (segments are few; linear
+	// scan beats binary search at this size).
+	i := 1
+	for i < len(s.cum)-1 && s.cum[i] < u {
+		i++
+	}
+	lo, hi := s.bounds[i-1], s.bounds[i]
+	cl, ch := s.cum[i-1], s.cum[i]
+	var addr uint64
+	if ch <= cl || hi <= lo {
+		// Zero-mass or zero-width segment: fall back to its start.
+		addr = lo
+	} else {
+		f := (u - cl) / (ch - cl)
+		addr = lo + uint64(f*float64(hi-lo))
+	}
+	if addr >= s.bounds[len(s.bounds)-1] {
+		addr = s.bounds[len(s.bounds)-1] - 1
+	}
+	return addr - addr%s.line
+}
