@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all check vet build test race bench
+
+all: check
+
+# check is the CI gate: vet, build, and the full test suite under the
+# race detector.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

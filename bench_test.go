@@ -35,6 +35,9 @@ func benchRunner() *exp.Runner {
 	r := exp.NewRunner()
 	r.SimTime = 200 * sim.Microsecond
 	r.Warmup = 50 * sim.Microsecond
+	// A hung benchmark should fail fast with a diagnostic dump, not spin
+	// until the test binary's external timeout kills it.
+	r.Watchdog = true
 	return r
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"memnet/internal/core"
 	"memnet/internal/exp"
+	"memnet/internal/fault"
 	"memnet/internal/link"
 	"memnet/internal/network"
 	"memnet/internal/sim"
@@ -35,6 +36,10 @@ func main() {
 	wakeup := flag.Int("wakeup", 14, "ROO wakeup latency (ns)")
 	trace := flag.Bool("trace", false, "print per-epoch management trace")
 	config := flag.String("config", "", "JSON batch config (overrides the single-run flags)")
+	faultsFile := flag.String("faults", "", "JSON fault scenario file (see EXPERIMENTS.md)")
+	timeoutF := flag.String("timeout", "", "per-request timeout, e.g. 2us (empty = wait forever)")
+	retries := flag.Int("retries", 2, "timeout-driven read retries (with -timeout)")
+	watchdog := flag.Bool("watchdog", false, "arm the no-progress watchdog")
 	flag.Parse()
 
 	if *config != "" {
@@ -83,6 +88,22 @@ func main() {
 		Wakeup:   sim.Duration(*wakeup) * sim.Nanosecond,
 		SimTime:  sim.Duration(st.Nanoseconds()) * sim.Nanosecond,
 		Warmup:   sim.Duration(wu.Nanoseconds()) * sim.Nanosecond,
+		Watchdog: *watchdog,
+	}
+	if *faultsFile != "" {
+		sc, err := fault.LoadScenario(*faultsFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec.Faults = sc
+	}
+	if *timeoutF != "" {
+		to, err := time.ParseDuration(*timeoutF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec.RequestTimeout = sim.Duration(to.Nanoseconds()) * sim.Nanosecond
+		spec.MaxRetries = *retries
 	}
 
 	if *trace {
@@ -133,6 +154,18 @@ func report(res exp.Result, wall time.Duration) {
 	fmt.Printf("  channel util:  %.1f%%   avg link util: %.1f%%\n", 100*res.ChannelUtil, 100*res.LinkUtil)
 	fmt.Printf("  links/access:  %.2f\n", res.LinksPerAccess)
 	fmt.Printf("  violations:    %d (%d absorbed by AMS grants)\n", res.Violations, res.Granted)
+	if res.FaultsInjected.Total() > 0 || res.Faults.Dropped > 0 || res.FrontEndFaults.ReadTimeouts > 0 {
+		fi := res.FaultsInjected
+		fmt.Printf("  faults:        injected %d (link-fail=%d module-fail=%d corrupt=%d wake=%d stall=%d)\n",
+			fi.Total(), fi.LinkFails, fi.ModuleFails, fi.CorruptBursts, fi.WakeFaults, fi.VaultStalls)
+		fmt.Printf("  degradation:   %d reads + %d writes completed as errors, %d lost, %d dropped, %d routing errors, %d failed links\n",
+			res.Faults.ReadsFailed, res.Faults.WritesFailed,
+			res.Faults.LostReads+res.Faults.LostWrites, res.Faults.Dropped,
+			res.Faults.RoutingErrors, res.Faults.FailedLinks)
+		fe := res.FrontEndFaults
+		fmt.Printf("  timeouts:      %d read deadlines (%d retried, %d abandoned), %d write credits reclaimed, %d late responses\n",
+			fe.ReadTimeouts, fe.Retries, fe.Abandoned, fe.WriteTimeouts, fe.LateResponses)
+	}
 	fmt.Printf("  simulated %s in %.2fs wall (%.1fM events)\n",
 		spec.SimTime+spec.Warmup, wall.Seconds(), float64(res.Events)/1e6)
 }

@@ -43,7 +43,10 @@ func (p *AwarePolicy) install(m *Manager) {
 				return true
 			}
 			for _, c := range children {
-				if net.Modules[c].UpResp.State() != link.StateOff {
+				// A failed downstream link counts as off: it will never
+				// turn off again, and holding the parent on for it would
+				// pin the whole upstream path at full power forever.
+				if st := net.Modules[c].UpResp.State(); st != link.StateOff && st != link.StateFailed {
 					return true
 				}
 			}
@@ -151,9 +154,10 @@ func (p *AwarePolicy) Reconfigure(m *Manager, e *EpochData) []sim.Duration {
 	for i := 0; i < topo.N(); i++ {
 		// Request links are always candidates; response links only when
 		// a bandwidth mechanism exists (for ROO-only networks their
-		// wakeups are hidden and they need no slowdown budget).
-		isSRC[2*i] = hasBW || hasROO
-		isSRC[2*i+1] = hasBW
+		// wakeups are hidden and they need no slowdown budget). Failed
+		// links leave the slack-distribution domain entirely.
+		isSRC[2*i] = (hasBW || hasROO) && !net.Links[2*i].Failed()
+		isSRC[2*i+1] = hasBW && !net.Links[2*i+1].Failed()
 	}
 
 	// dsrc[li]: SRC links strictly below li in its same-type tree.
@@ -306,6 +310,12 @@ func (p *AwarePolicy) Reconfigure(m *Manager, e *EpochData) []sim.Duration {
 
 	ams := make([]sim.Duration, nLinks)
 	for li, l := range net.Links {
+		if l.Failed() {
+			// Dead links draw no power and serve no reads; exempt them
+			// from violation monitoring instead of flagging a zero budget.
+			ams[li] = sim.Duration(1) << 60
+			continue
+		}
 		if hasROO && l.Dir == link.DirResponse {
 			// §VI-B: response-link wakeups are hidden by the cascade, so
 			// their ROO dimension is pinned to the most aggressive

@@ -137,6 +137,8 @@ type Stats struct {
 	QueueFullRejects uint64
 	BusyTime         sim.Duration // data-bus occupancy across vaults
 	RefreshStalls    uint64
+	// InjectedStalls counts accesses delayed by a fault-injected stall.
+	InjectedStalls uint64
 	// Row-buffer outcomes (OpenPage only).
 	RowHits, RowConflicts uint64
 }
@@ -149,9 +151,23 @@ type HMCDRAM struct {
 	stats  Stats
 
 	outstandingReads int
+	stallUntil       sim.Time
 	// OnReadStart, if set, fires when a read access enters service —
 	// the hook the proactive response-link wakeup ([22]) uses.
 	OnReadStart func()
+}
+
+// Stall blocks every vault from starting new accesses until now+dur, the
+// fault-injection model of a stack-wide maintenance/thermal stall. Queued
+// and newly arriving requests are held, not dropped, and resume in order
+// when the window closes. Overlapping stalls extend to the latest end.
+func (d *HMCDRAM) Stall(dur sim.Duration) {
+	if dur < 0 {
+		dur = 0
+	}
+	if until := d.kernel.Now() + dur; until > d.stallUntil {
+		d.stallUntil = until
+	}
 }
 
 // New builds the DRAM stack. It panics on invalid configuration: a config
@@ -307,6 +323,10 @@ func (d *HMCDRAM) serviceNext(v *vault) {
 	}
 
 	start := now
+	if d.stallUntil > start {
+		start = d.stallUntil
+		d.stats.InjectedStalls++
+	}
 	if v.bankFree[bank] > start {
 		start = v.bankFree[bank]
 	}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"memnet/internal/core"
+	"memnet/internal/fault"
 	"memnet/internal/link"
 	"memnet/internal/network"
 	"memnet/internal/power"
@@ -95,13 +96,29 @@ type Spec struct {
 	// SeedSalt perturbs the workload seed (0 for the paper runs; used by
 	// robustness tests).
 	SeedSalt uint64
+	// Faults schedules fault injection (empty = fault-free run).
+	Faults fault.Scenario
+	// RequestTimeout arms the front end's outstanding-request table with
+	// this per-request deadline; MaxRetries bounds timeout re-issues.
+	// Zero leaves the legacy wait-forever behavior untouched.
+	RequestTimeout sim.Duration
+	MaxRetries     int
+	// Watchdog arms the no-progress detector; a detected stall fails the
+	// run with the diagnostic dump instead of hanging or silently
+	// finishing short.
+	Watchdog bool
 }
 
 // key identifies a spec for memoization.
 func (s Spec) key() string {
-	return fmt.Sprintf("%s|%s|%s|%s|%s|%g|%d|%d|%d|%v|%v|%d",
+	k := fmt.Sprintf("%s|%s|%s|%s|%s|%g|%d|%d|%d|%v|%v|%d",
 		s.Workload.Name, s.Topology, s.Size, s.Mech, s.Policy, s.Alpha,
 		s.Wakeup, s.SimTime, s.Warmup, s.Interleave, s.CollectLinkHours, s.SeedSalt)
+	if len(s.Faults.Events) > 0 || s.RequestTimeout > 0 || s.Watchdog {
+		k += fmt.Sprintf("|f=%s|t=%d|r=%d|w=%v",
+			s.Faults.Key(), s.RequestTimeout, s.MaxRetries, s.Watchdog)
+	}
+	return k
 }
 
 // seed derives the workload seed. It deliberately excludes mechanism,
@@ -147,6 +164,13 @@ type Result struct {
 	Granted       uint64
 	Events        uint64
 	Slots         int
+	// Fault-run measurements (zero values on healthy runs).
+	Faults         network.FaultStats
+	FrontEndFaults workload.FrontEndFaultStats
+	FaultsInjected fault.Counts
+	// TimedOutIDs lists every read attempt that hit its deadline, in
+	// expiry order (the determinism fixture for fault runs).
+	TimedOutIDs []uint64
 }
 
 // IdleIOFraction returns idle I/O power over total network power (Fig. 8).
@@ -203,10 +227,26 @@ func Run(spec Spec) (Result, error) {
 	mcfg.CollectLinkHours = spec.CollectLinkHours
 	mgr := core.Attach(kernel, net, mcfg)
 
-	fe, err := workload.NewFrontEnd(kernel, net, spec.Workload,
-		workload.DefaultFrontEndConfig(spec.seed()))
+	fcfg := workload.DefaultFrontEndConfig(spec.seed())
+	fcfg.Timeout = spec.RequestTimeout
+	fcfg.MaxRetries = spec.MaxRetries
+	fe, err := workload.NewFrontEnd(kernel, net, spec.Workload, fcfg)
 	if err != nil {
 		return Result{}, err
+	}
+
+	var inj *fault.Injector
+	if len(spec.Faults.Events) > 0 {
+		inj, err = fault.Attach(net, spec.Faults)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	var dog *sim.Watchdog
+	if spec.Watchdog {
+		dog = sim.NewWatchdog(kernel, sim.DefaultWatchdogConfig(),
+			fe.Outstanding, fe.Progress, net.DumpState)
+		dog.Start()
 	}
 	fe.Start()
 
@@ -215,6 +255,13 @@ func Run(spec Spec) (Result, error) {
 	net.LatencyHist().Reset()
 	kernel.Run(spec.Warmup + spec.SimTime)
 	snap1 := net.TakeSnapshot()
+	if dog != nil {
+		dog.CheckDrained()
+		dog.Stop()
+		if dog.Stalled() {
+			return Result{}, fmt.Errorf("exp: %s run stalled:\n%s", spec.key(), dog.Report())
+		}
+	}
 
 	res := Result{
 		Spec:           spec,
@@ -234,6 +281,12 @@ func Run(spec Spec) (Result, error) {
 	}
 	res.PerHMC = res.Power.Scale(1 / float64(nModules))
 	res.Violations, res.Granted = mgr.Violations()
+	res.Faults = net.FaultStats()
+	res.FrontEndFaults = fe.FaultStats()
+	res.TimedOutIDs = append([]uint64(nil), fe.TimedOutIDs()...)
+	if inj != nil {
+		res.FaultsInjected = inj.Counts()
+	}
 	return res, nil
 }
 
@@ -242,6 +295,10 @@ func Run(spec Spec) (Result, error) {
 type Runner struct {
 	SimTime sim.Duration
 	Warmup  sim.Duration
+	// Watchdog arms the no-progress detector on every run, so a hung
+	// sweep (or benchmark) fails fast with a diagnostic instead of
+	// spinning until an external timeout.
+	Watchdog bool
 	// Workloads restricts figure sweeps to a subset (nil = all 14 paper
 	// workloads). Tests use it to exercise the generators cheaply.
 	Workloads []*workload.Profile
@@ -262,6 +319,9 @@ func (r *Runner) Run(spec Spec) Result {
 	}
 	if spec.Warmup <= 0 {
 		spec.Warmup = r.Warmup
+	}
+	if r.Watchdog {
+		spec.Watchdog = true
 	}
 	k := spec.key()
 	if res, ok := r.cache[k]; ok {

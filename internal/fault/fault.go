@@ -1,0 +1,261 @@
+// Package fault is the deterministic fault-injection subsystem: it turns
+// a scenario specification (JSON or programmatic) into scheduled fault
+// events against a live network — permanent link failures, transient
+// corruption bursts driving the CRC/retry path, delayed or lost ROO
+// wakeups, and vault stalls. All randomness (picking targets with
+// Link/Module = -1) comes from the scenario's seed through the
+// simulator's own RNG, so the same seed and scenario always produce the
+// same faults, event counts, and energy totals.
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"memnet/internal/network"
+	"memnet/internal/sim"
+)
+
+// Duration is a sim.Duration that unmarshals from JSON as either a Go
+// duration string ("1us", "250ns") or an integer picosecond count.
+type Duration sim.Duration
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		td, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("fault: bad duration %q: %w", s, err)
+		}
+		*d = Duration(sim.Duration(td.Nanoseconds()) * sim.Nanosecond)
+		return nil
+	}
+	var ps int64
+	if err := json.Unmarshal(b, &ps); err != nil {
+		return fmt.Errorf("fault: duration must be a string or picoseconds: %s", b)
+	}
+	*d = Duration(ps)
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(sim.Duration(d).String())
+}
+
+// Kind identifies a fault event type.
+type Kind string
+
+const (
+	// LinkFail permanently fails one connectivity link (Links[Link]).
+	LinkFail Kind = "link-fail"
+	// ModuleFail permanently fails both connectivity links of a module,
+	// severing its whole subtree.
+	ModuleFail Kind = "module-fail"
+	// CorruptBurst raises the link's bit-error rate to BER for Duration,
+	// driving the existing CRC/RetryDelay retransmission path.
+	CorruptBurst Kind = "corrupt-burst"
+	// WakeFault perturbs the link's next ROO wakeup: delayed by Duration,
+	// or lost entirely (Drop), forcing a wake retry.
+	WakeFault Kind = "wake-fault"
+	// VaultStall blocks a module's DRAM from starting accesses for
+	// Duration (thermal/maintenance stall model).
+	VaultStall Kind = "vault-stall"
+)
+
+// Event is one scheduled fault.
+type Event struct {
+	// At is the simulated time the fault fires.
+	At Duration `json:"at"`
+	// Kind selects the fault type.
+	Kind Kind `json:"kind"`
+	// Link is the target link index for link-fail/corrupt-burst/
+	// wake-fault; -1 picks one with the scenario RNG.
+	Link int `json:"link,omitempty"`
+	// Module is the target module for module-fail/vault-stall; -1 picks
+	// one with the scenario RNG.
+	Module int `json:"module,omitempty"`
+	// Duration is the burst/stall length or wake delay.
+	Duration Duration `json:"duration,omitempty"`
+	// BER is the corrupt-burst bit-error rate per flit attempt.
+	BER float64 `json:"ber,omitempty"`
+	// Drop makes a wake-fault lose the wakeup instead of delaying it.
+	Drop bool `json:"drop,omitempty"`
+}
+
+// Scenario is a complete fault schedule.
+type Scenario struct {
+	// Seed drives target selection for events with Link/Module = -1.
+	Seed uint64 `json:"seed"`
+	// Events fire in time order regardless of slice order.
+	Events []Event `json:"events"`
+}
+
+// ParseScenario decodes a JSON scenario, rejecting unknown fields.
+func ParseScenario(data []byte) (Scenario, error) {
+	var sc Scenario
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return Scenario{}, fmt.Errorf("fault: parsing scenario: %w", err)
+	}
+	return sc, nil
+}
+
+// LoadScenario reads and decodes a JSON scenario file.
+func LoadScenario(path string) (Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("fault: reading scenario: %w", err)
+	}
+	return ParseScenario(data)
+}
+
+// Key returns a stable identity string for memoization keys: same
+// scenario, same key.
+func (sc Scenario) Key() string {
+	if len(sc.Events) == 0 {
+		return ""
+	}
+	b, err := json.Marshal(sc)
+	if err != nil {
+		return fmt.Sprintf("unkeyable-%d-%d", sc.Seed, len(sc.Events))
+	}
+	return string(b)
+}
+
+// Counts tallies applied faults by kind.
+type Counts struct {
+	LinkFails     int
+	ModuleFails   int
+	CorruptBursts int
+	WakeFaults    int
+	VaultStalls   int
+}
+
+// Total sums all applied faults.
+func (c Counts) Total() int {
+	return c.LinkFails + c.ModuleFails + c.CorruptBursts + c.WakeFaults + c.VaultStalls
+}
+
+// Injector schedules a scenario's faults against one network.
+type Injector struct {
+	net    *network.Network
+	rng    *sim.RNG
+	counts Counts
+	log    []string
+}
+
+// Attach validates sc against net and pre-schedules every event on the
+// network's kernel. Target selection for random events happens here, in
+// event order, so it is a pure function of the scenario seed.
+func Attach(net *network.Network, sc Scenario) (*Injector, error) {
+	inj := &Injector{net: net, rng: sim.NewRNG(sc.Seed ^ 0xfa017)}
+	events := make([]Event, len(sc.Events))
+	copy(events, sc.Events)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	now := net.Kernel.Now()
+	for i := range events {
+		ev := events[i]
+		if sim.Time(ev.At) < now {
+			return nil, fmt.Errorf("fault: event %d at %s is in the past (now %s)", i, sim.Duration(ev.At), now)
+		}
+		if err := inj.resolve(&ev); err != nil {
+			return nil, fmt.Errorf("fault: event %d: %w", i, err)
+		}
+		resolved := ev
+		net.Kernel.Schedule(sim.Time(ev.At), func() { inj.apply(resolved) })
+	}
+	return inj, nil
+}
+
+// resolve validates ev and pins its random targets.
+func (inj *Injector) resolve(ev *Event) error {
+	nLinks := len(inj.net.Links)
+	nMods := len(inj.net.Modules)
+	pickLink := func() error {
+		if ev.Link == -1 {
+			ev.Link = int(inj.rng.Uint64() % uint64(nLinks))
+		}
+		if ev.Link < 0 || ev.Link >= nLinks {
+			return fmt.Errorf("link %d out of range [0,%d)", ev.Link, nLinks)
+		}
+		return nil
+	}
+	pickModule := func() error {
+		if ev.Module == -1 {
+			ev.Module = int(inj.rng.Uint64() % uint64(nMods))
+		}
+		if ev.Module < 0 || ev.Module >= nMods {
+			return fmt.Errorf("module %d out of range [0,%d)", ev.Module, nMods)
+		}
+		return nil
+	}
+	switch ev.Kind {
+	case LinkFail:
+		return pickLink()
+	case ModuleFail:
+		return pickModule()
+	case CorruptBurst:
+		if ev.BER <= 0 || ev.BER > 1 {
+			return fmt.Errorf("corrupt-burst needs ber in (0,1], got %g", ev.BER)
+		}
+		if ev.Duration <= 0 {
+			return fmt.Errorf("corrupt-burst needs a positive duration")
+		}
+		return pickLink()
+	case WakeFault:
+		if !ev.Drop && ev.Duration <= 0 {
+			return fmt.Errorf("wake-fault needs a positive delay or drop=true")
+		}
+		return pickLink()
+	case VaultStall:
+		if ev.Duration <= 0 {
+			return fmt.Errorf("vault-stall needs a positive duration")
+		}
+		return pickModule()
+	default:
+		return fmt.Errorf("unknown fault kind %q", ev.Kind)
+	}
+}
+
+// apply fires one resolved event.
+func (inj *Injector) apply(ev Event) {
+	now := inj.net.Kernel.Now()
+	switch ev.Kind {
+	case LinkFail:
+		inj.counts.LinkFails++
+		inj.logf("%s link-fail link=%d", now, ev.Link)
+		inj.net.FailLink(ev.Link)
+	case ModuleFail:
+		inj.counts.ModuleFails++
+		inj.logf("%s module-fail module=%d", now, ev.Module)
+		inj.net.FailModule(ev.Module)
+	case CorruptBurst:
+		inj.counts.CorruptBursts++
+		inj.logf("%s corrupt-burst link=%d ber=%g for %s", now, ev.Link, ev.BER, sim.Duration(ev.Duration))
+		l := inj.net.Links[ev.Link]
+		l.SetBER(ev.BER)
+		inj.net.Kernel.After(sim.Duration(ev.Duration), func() { l.SetBER(0) })
+	case WakeFault:
+		inj.counts.WakeFaults++
+		inj.logf("%s wake-fault link=%d delay=%s drop=%v", now, ev.Link, sim.Duration(ev.Duration), ev.Drop)
+		inj.net.Links[ev.Link].InjectWakeFault(sim.Duration(ev.Duration), ev.Drop)
+	case VaultStall:
+		inj.counts.VaultStalls++
+		inj.logf("%s vault-stall module=%d for %s", now, ev.Module, sim.Duration(ev.Duration))
+		inj.net.Modules[ev.Module].DRAM.Stall(sim.Duration(ev.Duration))
+	}
+}
+
+func (inj *Injector) logf(format string, args ...any) {
+	inj.log = append(inj.log, fmt.Sprintf(format, args...))
+}
+
+// Counts returns the faults applied so far.
+func (inj *Injector) Counts() Counts { return inj.counts }
+
+// Log returns the applied-fault trace in firing order.
+func (inj *Injector) Log() []string { return inj.log }

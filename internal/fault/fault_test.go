@@ -1,0 +1,288 @@
+package fault_test
+
+import (
+	"strings"
+	"testing"
+
+	"memnet/internal/core"
+	"memnet/internal/exp"
+	"memnet/internal/fault"
+	"memnet/internal/network"
+	"memnet/internal/sim"
+	"memnet/internal/topology"
+	"memnet/internal/workload"
+)
+
+// midChainKill is the acceptance scenario: a 4-module daisy chain loses
+// module 1's response link (Links[3]) at t = 1 µs. Cutting the response
+// direction is the nastiest failure: requests still flow downstream and
+// get served, but every response from modules 1–3 dies on the dead link,
+// so no error can ever come back — only deadlines or a watchdog notice.
+func midChainKill() fault.Scenario {
+	return fault.Scenario{
+		Seed: 1,
+		Events: []fault.Event{
+			{At: fault.Duration(sim.Microsecond), Kind: fault.LinkFail, Link: 3},
+		},
+	}
+}
+
+func midChainSpec(t *testing.T) exp.Spec {
+	t.Helper()
+	wl, err := workload.ByName("mixA") // 4 modules at 4 GB/module
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exp.Spec{
+		Workload: wl,
+		Topology: topology.DaisyChain,
+		Size:     exp.Small,
+		Mech:     exp.MechVWLROO,
+		Policy:   core.PolicyAware,
+		Alpha:    0.05,
+		SimTime:  150 * sim.Microsecond,
+		Warmup:   0,
+		Faults:   midChainKill(),
+	}
+}
+
+// TestMidChainKillDegradesGracefully is the headline acceptance test:
+// with timeouts and the watchdog armed, killing a mid-chain module must
+// leave a run that completes, keeps serving the surviving module, and
+// converts every severed request into a counted error or timeout — no
+// panic, no hang, no silent loss.
+func TestMidChainKillDegradesGracefully(t *testing.T) {
+	spec := midChainSpec(t)
+	spec.RequestTimeout = 2 * sim.Microsecond
+	spec.MaxRetries = 2
+	spec.Watchdog = true
+
+	res, err := exp.Run(spec)
+	if err != nil {
+		t.Fatalf("degraded run failed: %v", err)
+	}
+	if res.FaultsInjected.LinkFails != 1 {
+		t.Fatalf("LinkFails = %d, want 1", res.FaultsInjected.LinkFails)
+	}
+	if res.Faults.FailedLinks != 1 {
+		t.Fatalf("FailedLinks = %d, want 1", res.Faults.FailedLinks)
+	}
+	// The cut is real: responses from the severed subtree are lost on the
+	// dead link...
+	if res.Faults.LostReads == 0 {
+		t.Fatal("no responses were lost below the cut")
+	}
+	// ...and the frontend's deadline machinery both fired, retried, and
+	// gave up within its budget instead of stranding slots.
+	fe := res.FrontEndFaults
+	if fe.ReadTimeouts == 0 || fe.Retries == 0 || fe.Abandoned == 0 {
+		t.Fatalf("timeout path idle: %+v", fe)
+	}
+	if len(res.TimedOutIDs) == 0 {
+		t.Fatal("no timed-out request IDs recorded")
+	}
+	// The surviving module kept the network productive.
+	if res.Throughput == 0 {
+		t.Fatal("throughput collapsed to zero despite a surviving module")
+	}
+}
+
+// TestMidChainKillHangsWithoutRecovery is the load-bearing counterpart:
+// the identical scenario with timeouts and watchdog disabled wedges the
+// frontend — progress freezes with requests outstanding, which is
+// exactly the failure mode the recovery layer exists to prevent.
+func TestMidChainKillHangsWithoutRecovery(t *testing.T) {
+	wl, err := workload.ByName("mixA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernel := sim.NewKernel()
+	topo, err := topology.Build(topology.DaisyChain, wl.Modules(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := network.New(kernel, topo, network.DefaultConfig())
+	fe, err := workload.NewFrontEnd(kernel, net, wl, workload.DefaultFrontEndConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fault.Attach(net, midChainKill()); err != nil {
+		t.Fatal(err)
+	}
+	fe.Start()
+
+	kernel.Run(150 * sim.Microsecond)
+	p1 := fe.Progress()
+	kernel.Run(300 * sim.Microsecond)
+	p2 := fe.Progress()
+	if p2 != p1 {
+		t.Fatalf("progress advanced %d -> %d; expected the frontend to wedge without timeouts", p1, p2)
+	}
+	if fe.Outstanding() == 0 {
+		t.Fatal("nothing outstanding — the hang this subsystem guards against did not occur")
+	}
+}
+
+// TestWatchdogReportsTheHang: watchdog armed but timeouts still off —
+// the run must fail loudly with the diagnostic dump instead of
+// finishing as if healthy.
+func TestWatchdogReportsTheHang(t *testing.T) {
+	spec := midChainSpec(t)
+	spec.Watchdog = true // no RequestTimeout: nothing can recover
+
+	_, err := exp.Run(spec)
+	if err == nil {
+		t.Fatal("hung run reported success")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "stalled") || !strings.Contains(msg, "UNREACHABLE") {
+		t.Fatalf("stall error lacks the diagnostic dump:\n%s", msg)
+	}
+}
+
+// TestFaultRunDeterminism: same seed, same scenario — byte-identical
+// outcome, down to event counts, energy, fault tallies, and the exact
+// set and order of timed-out request IDs.
+func TestFaultRunDeterminism(t *testing.T) {
+	run := func() exp.Result {
+		spec := midChainSpec(t)
+		spec.RequestTimeout = 2 * sim.Microsecond
+		spec.MaxRetries = 2
+		spec.Watchdog = true
+		res, err := exp.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Events != b.Events {
+		t.Fatalf("event counts differ: %d vs %d", a.Events, b.Events)
+	}
+	if a.Power.Total() != b.Power.Total() {
+		t.Fatalf("energy differs: %v vs %v", a.Power.Total(), b.Power.Total())
+	}
+	if a.Faults != b.Faults {
+		t.Fatalf("fault stats differ: %+v vs %+v", a.Faults, b.Faults)
+	}
+	if a.FrontEndFaults != b.FrontEndFaults {
+		t.Fatalf("frontend fault stats differ: %+v vs %+v", a.FrontEndFaults, b.FrontEndFaults)
+	}
+	if len(a.TimedOutIDs) != len(b.TimedOutIDs) {
+		t.Fatalf("timed-out sets differ in size: %d vs %d", len(a.TimedOutIDs), len(b.TimedOutIDs))
+	}
+	for i := range a.TimedOutIDs {
+		if a.TimedOutIDs[i] != b.TimedOutIDs[i] {
+			t.Fatalf("timed-out ID %d differs: %d vs %d", i, a.TimedOutIDs[i], b.TimedOutIDs[i])
+		}
+	}
+}
+
+// TestRandomTargetsAreSeedDeterministic: events with Link/Module = -1
+// resolve their targets from the scenario seed at Attach time, so two
+// networks see the same fault sequence.
+func TestRandomTargetsAreSeedDeterministic(t *testing.T) {
+	sc := fault.Scenario{
+		Seed: 99,
+		Events: []fault.Event{
+			{At: fault.Duration(sim.Microsecond), Kind: fault.CorruptBurst, Link: -1,
+				BER: 1e-6, Duration: fault.Duration(5 * sim.Microsecond)},
+			{At: fault.Duration(2 * sim.Microsecond), Kind: fault.WakeFault, Link: -1, Drop: true},
+			{At: fault.Duration(3 * sim.Microsecond), Kind: fault.VaultStall, Module: -1,
+				Duration: fault.Duration(sim.Microsecond)},
+		},
+	}
+	trace := func() []string {
+		k := sim.NewKernel()
+		topo, err := topology.Build(topology.TernaryTree, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := network.New(k, topo, network.DefaultConfig())
+		inj, err := fault.Attach(net, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.Run(10 * sim.Microsecond)
+		if inj.Counts().Total() != 3 {
+			t.Fatalf("applied %d faults, want 3", inj.Counts().Total())
+		}
+		return inj.Log()
+	}
+	a, b := trace(), trace()
+	if strings.Join(a, "\n") != strings.Join(b, "\n") {
+		t.Fatalf("fault traces diverge:\n%v\nvs\n%v", a, b)
+	}
+}
+
+// TestScenarioJSON covers the wire format: duration strings, raw
+// picoseconds, and the round trip through Key().
+func TestScenarioJSON(t *testing.T) {
+	sc, err := fault.ParseScenario([]byte(`{
+		"seed": 7,
+		"events": [
+			{"at": "1us", "kind": "module-fail", "module": 1},
+			{"at": 2500000, "kind": "corrupt-burst", "link": 3, "ber": 1e-9, "duration": "10us"},
+			{"at": "5us", "kind": "wake-fault", "link": -1, "drop": true},
+			{"at": "6us", "kind": "vault-stall", "module": 0, "duration": "500ns"}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Seed != 7 || len(sc.Events) != 4 {
+		t.Fatalf("parsed %+v", sc)
+	}
+	if sim.Duration(sc.Events[0].At) != sim.Microsecond {
+		t.Fatalf("string duration parsed as %v", sim.Duration(sc.Events[0].At))
+	}
+	if sim.Duration(sc.Events[1].At) != 2500*sim.Nanosecond {
+		t.Fatalf("picosecond duration parsed as %v", sim.Duration(sc.Events[1].At))
+	}
+	if sc.Events[2].Link != -1 || !sc.Events[2].Drop {
+		t.Fatalf("wake-fault parsed as %+v", sc.Events[2])
+	}
+	if sc.Key() == "" || sc.Key() != sc.Key() {
+		t.Fatal("scenario key is not stable")
+	}
+	if (fault.Scenario{}).Key() != "" {
+		t.Fatal("empty scenario must have an empty key")
+	}
+}
+
+// TestAttachValidation: malformed scenarios are rejected up front, with
+// the offending event identified — never half-scheduled.
+func TestAttachValidation(t *testing.T) {
+	k := sim.NewKernel()
+	topo, err := topology.Build(topology.DaisyChain, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := network.New(k, topo, network.DefaultConfig())
+	k.Schedule(2*sim.Microsecond, func() {})
+	k.RunAll() // now = 2 µs: past events must be rejected
+
+	for name, sc := range map[string]fault.Scenario{
+		"unknown kind": {Events: []fault.Event{
+			{At: fault.Duration(5 * sim.Microsecond), Kind: "meltdown"}}},
+		"link out of range": {Events: []fault.Event{
+			{At: fault.Duration(5 * sim.Microsecond), Kind: fault.LinkFail, Link: 99}}},
+		"module out of range": {Events: []fault.Event{
+			{At: fault.Duration(5 * sim.Microsecond), Kind: fault.ModuleFail, Module: 5}}},
+		"bad ber": {Events: []fault.Event{
+			{At: fault.Duration(5 * sim.Microsecond), Kind: fault.CorruptBurst, Link: 0,
+				BER: 2, Duration: fault.Duration(sim.Microsecond)}}},
+		"burst without duration": {Events: []fault.Event{
+			{At: fault.Duration(5 * sim.Microsecond), Kind: fault.CorruptBurst, Link: 0, BER: 1e-9}}},
+		"wake-fault without effect": {Events: []fault.Event{
+			{At: fault.Duration(5 * sim.Microsecond), Kind: fault.WakeFault, Link: 0}}},
+		"stall without duration": {Events: []fault.Event{
+			{At: fault.Duration(5 * sim.Microsecond), Kind: fault.VaultStall, Module: 0}}},
+		"event in the past": {Events: []fault.Event{
+			{At: fault.Duration(sim.Microsecond), Kind: fault.LinkFail, Link: 0}}},
+	} {
+		if _, err := fault.Attach(net, sc); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package link
+
+import (
+	"testing"
+
+	"memnet/internal/packet"
+	"memnet/internal/sim"
+)
+
+// TestBERRetrySurvivesROO is the BER × ROO regression: a link must not
+// power off while a corrupted packet awaits its retransmission, even
+// with the most aggressive idleness threshold. The pending retry holds
+// the packet at the queue head with no transmission in progress — the
+// exact window where an unguarded off-check would strand it.
+func TestBERRetrySurvivesROO(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := Config{
+		ROO:        true,
+		Wakeup:     WakeupDefault,
+		BER:        0.5, // every flit attempt fails CRC (pErr ≈ 1)
+		RetryDelay: 32 * sim.Nanosecond,
+		FullWatts:  0.58625,
+	}
+	l := New(k, cfg, 0, DirRequest, 0, packet.ProcessorID, 0, 1)
+	var delivered []*packet.Packet
+	l.Deliver = func(p *packet.Packet) { delivered = append(delivered, p) }
+	l.SetROOMode(0) // most aggressive threshold
+
+	l.Enqueue(&packet.Packet{ID: 1, Kind: packet.ReadReq, Src: packet.ProcessorID, Dst: 0})
+
+	// Let the first (corrupted) serialization and a couple of retry
+	// windows elapse; the retry delay (32 ns) exceeds the mode-0 idle
+	// threshold, so a bug here would turn the link off mid-retry.
+	k.Run(k.Now() + 200*sim.Nanosecond)
+	if l.State() == StateOff {
+		t.Fatalf("link powered off with a retransmission pending (retries=%d, queue=%d)",
+			l.Retries(), l.QueueLen())
+	}
+	if len(delivered) != 0 {
+		t.Fatalf("corrupted packet delivered: %v", delivered)
+	}
+
+	// End the burst: the pending retry must now complete the delivery.
+	l.SetBER(0)
+	k.RunAll()
+	if len(delivered) != 1 || delivered[0].ID != 1 {
+		t.Fatalf("after burst ends, delivered = %v, want packet 1", delivered)
+	}
+	if l.Retries() == 0 {
+		t.Fatal("expected at least one CRC retry")
+	}
+}
+
+// TestFailReclaimsQueueAndInflight verifies Fail hands back both the
+// serializing packet and the queued backlog, and that the failed link
+// drops (and reports) later arrivals instead of accepting them.
+func TestFailReclaimsQueueAndInflight(t *testing.T) {
+	k := sim.NewKernel()
+	l := New(k, Config{FullWatts: 0.58625}, 0, DirRequest, 0, packet.ProcessorID, 0, 1)
+	l.Deliver = func(p *packet.Packet) { t.Fatalf("delivered %v on a link that fails first", p) }
+
+	for id := uint64(1); id <= 3; id++ {
+		l.Enqueue(&packet.Packet{ID: id, Kind: packet.WriteReq, Src: packet.ProcessorID, Dst: 0})
+	}
+	k.Run(1) // packet 1 is mid-serialization, 2 and 3 queued
+
+	stranded := l.Fail()
+	if len(stranded) != 3 {
+		t.Fatalf("stranded %d packets, want 3 (inflight + 2 queued)", len(stranded))
+	}
+	if stranded[0].ID != 1 {
+		t.Fatalf("inflight packet %d first, want 1", stranded[0].ID)
+	}
+	if !l.Failed() || l.State().String() != "failed" {
+		t.Fatalf("state = %v after Fail", l.State())
+	}
+	if again := l.Fail(); again != nil {
+		t.Fatalf("second Fail returned %v, want nil", again)
+	}
+
+	var droppedPkt *packet.Packet
+	l.OnDrop = func(p *packet.Packet) { droppedPkt = p }
+	l.Enqueue(&packet.Packet{ID: 9, Kind: packet.ReadReq, Src: packet.ProcessorID, Dst: 0})
+	if droppedPkt == nil || droppedPkt.ID != 9 || l.Dropped() != 1 {
+		t.Fatalf("drop hook got %v (dropped=%d), want packet 9", droppedPkt, l.Dropped())
+	}
+	k.RunAll()
+
+	// A dead link draws nothing: energy must stop accumulating.
+	l.FinishAccounting()
+	idle0, active0 := l.EnergyJoules()
+	k.Schedule(k.Now()+sim.Millisecond, func() {})
+	k.RunAll()
+	l.FinishAccounting()
+	idle1, active1 := l.EnergyJoules()
+	if idle1 != idle0 || active1 != active0 {
+		t.Fatalf("failed link accumulated energy: idle %g->%g active %g->%g",
+			idle0, idle1, active0, active1)
+	}
+}
+
+// TestWakeFaultDelaysButDelivers covers both wake-fault flavors: an
+// extra-delay fault stretches the wakeup, and a drop fault forces a
+// second full wakeup — in both cases every queued packet is eventually
+// delivered and the fault is counted.
+func TestWakeFaultDelaysButDelivers(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		extra    sim.Duration
+		drop     bool
+		minDelay sim.Duration
+	}{
+		{"delay", 50 * sim.Nanosecond, false, WakeupDefault + 50*sim.Nanosecond},
+		{"drop", 0, true, 2 * WakeupDefault},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			k := sim.NewKernel()
+			l := New(k, Config{ROO: true, Wakeup: WakeupDefault, FullWatts: 0.58625},
+				0, DirRequest, 0, packet.ProcessorID, 0, 1)
+			var delivered []*packet.Packet
+			l.Deliver = func(p *packet.Packet) { delivered = append(delivered, p) }
+
+			// Idle past the full-mode threshold so the link powers down.
+			k.Run(5 * sim.Microsecond)
+			if l.State() != StateOff {
+				t.Fatalf("state = %v before the wake, want off", l.State())
+			}
+			l.InjectWakeFault(tc.extra, tc.drop)
+			start := k.Now()
+			l.Enqueue(&packet.Packet{ID: 1, Kind: packet.ReadReq, Src: packet.ProcessorID, Dst: 0})
+			k.RunAll()
+
+			if len(delivered) != 1 {
+				t.Fatalf("delivered %d packets, want 1", len(delivered))
+			}
+			if got := k.Now() - start; got < tc.minDelay {
+				t.Fatalf("delivery after %v, want at least %v of wake penalty", got, tc.minDelay)
+			}
+			if l.WakeFaults() == 0 {
+				t.Fatal("wake fault not counted")
+			}
+		})
+	}
+}
+
+// TestFailDuringWakeStaysFailed: a Fail landing mid-wakeup must not be
+// resurrected by the wake completion event.
+func TestFailDuringWakeStaysFailed(t *testing.T) {
+	k := sim.NewKernel()
+	l := New(k, Config{ROO: true, Wakeup: WakeupDefault, FullWatts: 0.58625},
+		0, DirRequest, 0, packet.ProcessorID, 0, 1)
+	l.Deliver = func(p *packet.Packet) { t.Fatalf("delivered %v through a failed link", p) }
+
+	k.Run(5 * sim.Microsecond) // idle long enough to power down
+	l.Enqueue(&packet.Packet{ID: 1, Kind: packet.ReadReq, Src: packet.ProcessorID, Dst: 0})
+	if l.State() != StateWaking {
+		t.Fatalf("state = %v, want waking", l.State())
+	}
+	stranded := l.Fail()
+	if len(stranded) != 1 {
+		t.Fatalf("stranded %d packets, want the queued one", len(stranded))
+	}
+	k.RunAll() // wake-completion event must observe the failure and no-op
+	if !l.Failed() {
+		t.Fatalf("state = %v after wake completion, want failed", l.State())
+	}
+}

@@ -37,7 +37,26 @@ const (
 	StateOff
 	// StateWaking: the link is resynchronizing after an off period.
 	StateWaking
+	// StateFailed: the link has permanently failed (fault injection). It
+	// draws no power, accepts no traffic, and never recovers.
+	StateFailed
 )
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateOn:
+		return "on"
+	case StateOff:
+		return "off"
+	case StateWaking:
+		return "waking"
+	case StateFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
 
 // Config selects a link's power-control capabilities.
 type Config struct {
@@ -91,6 +110,9 @@ type Link struct {
 	// OnTurnOff fires when the link powers down; the cascade uses it to
 	// let the upstream response link re-evaluate its own turn-off.
 	OnTurnOff func()
+	// OnDrop receives every packet the link refuses or loses because it
+	// has failed. Wired by the network layer for drop accounting.
+	OnDrop func(*packet.Packet)
 
 	// Power-control state.
 	bwMode     int
@@ -104,8 +126,15 @@ type Link struct {
 	// Transmission state.
 	queue        []*packet.Packet
 	transmitting bool
+	inflight     *packet.Packet // the packet being serialized, reclaimed on Fail
 	idleSince    sim.Time
 	idleOpen     bool
+
+	// Fault-injection state.
+	wakeExtra  sim.Duration // extra latency added to the next wakeup
+	wakeDrop   bool         // the next wakeup fails once and is re-attempted
+	wakeFaults uint64
+	dropped    uint64
 
 	// Energy/time integration.
 	lastAccount  sim.Time
@@ -156,7 +185,7 @@ func New(k *sim.Kernel, cfg Config, id int, dir Direction, owner, from, to, dept
 
 // corrupted decides whether a just-serialized packet failed its CRC.
 func (l *Link) corrupted(p *packet.Packet) bool {
-	if l.errRNG == nil {
+	if l.errRNG == nil || l.cfg.BER <= 0 {
 		return false
 	}
 	bits := float64(p.Bytes() * 8)
@@ -179,6 +208,73 @@ func pow1m(ber, bits float64) float64 {
 
 // Retries counts CRC retransmissions performed by this link.
 func (l *Link) Retries() uint64 { return l.retries }
+
+// Dropped counts packets refused or lost because the link failed.
+func (l *Link) Dropped() uint64 { return l.dropped }
+
+// WakeFaults counts injected wakeup faults consumed by this link.
+func (l *Link) WakeFaults() uint64 { return l.wakeFaults }
+
+// Failed reports whether the link has permanently failed.
+func (l *Link) Failed() bool { return l.state == StateFailed }
+
+// SetBER reprograms the link's bit error rate at runtime (fault
+// injection: transient corruption bursts driving the CRC retry path).
+// Setting it back to zero ends the burst. The error RNG is seeded from
+// the link ID, so bursts are deterministic for a given scenario.
+func (l *Link) SetBER(ber float64) {
+	l.cfg.BER = ber
+	if ber > 0 {
+		if l.cfg.RetryDelay <= 0 {
+			l.cfg.RetryDelay = 32 * sim.Nanosecond
+		}
+		if l.errRNG == nil {
+			l.errRNG = sim.NewRNG(0x6c696e6b ^ uint64(l.ID)<<20)
+		}
+	}
+}
+
+// InjectWakeFault arms a fault on the link's next wakeup: the
+// resynchronization takes extra additional time, and if drop is set the
+// wakeup fails once outright — the link falls back to off and retries the
+// full wakeup. Models marginal links whose retraining struggles.
+func (l *Link) InjectWakeFault(extra sim.Duration, drop bool) {
+	if l.state == StateFailed {
+		return
+	}
+	if extra > l.wakeExtra {
+		l.wakeExtra = extra
+	}
+	l.wakeDrop = l.wakeDrop || drop
+}
+
+// Fail permanently fails the link: energy is integrated up to now at the
+// pre-failure draw, the state moves to StateFailed (0 W), and every
+// buffered or in-flight packet is handed back to the caller so the
+// network can complete or account them. Subsequent Enqueues are dropped
+// through OnDrop. Fail is idempotent.
+func (l *Link) Fail() []*packet.Packet {
+	if l.state == StateFailed {
+		return nil
+	}
+	now := l.kernel.Now()
+	l.account(now)
+	if l.idleOpen {
+		l.mon.observeIdleEnd(now - l.idleSince)
+		l.idleOpen = false
+	}
+	l.state = StateFailed
+	l.transmitting = false
+	l.offSeq++ // cancel pending off-checks
+	var stranded []*packet.Packet
+	if l.inflight != nil {
+		stranded = append(stranded, l.inflight)
+		l.inflight = nil
+	}
+	stranded = append(stranded, l.queue...)
+	l.queue = nil
+	return stranded
+}
 
 // Config returns the link's capabilities.
 func (l *Link) Config() Config { return l.cfg }
@@ -242,6 +338,9 @@ func (l *Link) effBWFactor(now sim.Time) float64 {
 
 // currentWatts is the instantaneous power draw.
 func (l *Link) currentWatts(now sim.Time) float64 {
+	if l.state == StateFailed {
+		return 0 // a dead link draws nothing and is dropped from accounting
+	}
 	if l.state == StateOff {
 		return l.cfg.FullWatts * OffPowerFraction
 	}
@@ -283,8 +382,16 @@ func (l *Link) account(now sim.Time) {
 }
 
 // Enqueue accepts a packet into the link buffer (reads ahead of writes)
-// and starts transmission or wakeup as needed.
+// and starts transmission or wakeup as needed. A failed link refuses the
+// packet and reports it through OnDrop.
 func (l *Link) Enqueue(p *packet.Packet) {
+	if l.state == StateFailed {
+		l.dropped++
+		if l.OnDrop != nil {
+			l.OnDrop(p)
+		}
+		return
+	}
 	now := l.kernel.Now()
 	l.account(now)
 	p.HopArrive = now
@@ -338,14 +445,19 @@ func (l *Link) tryTransmit() {
 	copy(l.queue, l.queue[1:])
 	l.queue = l.queue[:len(l.queue)-1]
 	l.transmitting = true
+	l.inflight = p
 
 	bw := l.effBWFactor(now)
 	ser := sim.Duration(float64(int64(FlitTimeFull)*int64(p.Flits()))/bw + 0.5)
 	end := now + ser
 	serdes := SERDESLatency(l.cfg.Mechanism, l.effBWLabel(now))
 	l.kernel.Schedule(end, func() {
+		if l.state == StateFailed {
+			return // Fail() already reclaimed the in-flight packet
+		}
 		l.account(end)
 		l.transmitting = false
+		l.inflight = nil
 		if l.corrupted(p) {
 			// CRC failure: put the packet back at the head and
 			// retransmit after the retry turnaround.
@@ -428,7 +540,10 @@ func (l *Link) MaybeTurnOff() {
 	}
 }
 
-// startWake begins the off→waking→on sequence.
+// startWake begins the off→waking→on sequence. An armed wakeup fault
+// stretches the resynchronization or (drop) aborts it once: the link
+// falls back to off and immediately retries the full wakeup, so queued
+// packets are delayed, never stranded.
 func (l *Link) startWake() {
 	if l.state != StateOff {
 		return
@@ -436,12 +551,32 @@ func (l *Link) startWake() {
 	now := l.kernel.Now()
 	l.account(now)
 	l.state = StateWaking
+	wakeup := l.cfg.Wakeup
+	if l.wakeExtra > 0 {
+		wakeup += l.wakeExtra
+		l.wakeExtra = 0
+		l.wakeFaults++
+	}
+	drop := l.wakeDrop
+	if drop {
+		l.wakeDrop = false
+		l.wakeFaults++
+	}
 	if l.OnWakeStart != nil {
 		l.OnWakeStart()
 	}
-	l.kernel.Schedule(now+l.cfg.Wakeup, func() {
+	l.kernel.Schedule(now+wakeup, func() {
+		if l.state != StateWaking {
+			return // failed mid-wake
+		}
 		t := l.kernel.Now()
 		l.account(t)
+		if drop {
+			// Resynchronization failed; retry the whole wakeup.
+			l.state = StateOff
+			l.startWake()
+			return
+		}
 		l.state = StateOn
 		l.mon.epoch.Wakeups++
 		if len(l.queue) > 0 {
@@ -470,7 +605,7 @@ func (l *Link) Wake() {
 // mechanism's transition latency, during which the link runs at the
 // slower of the two modes and draws the higher power.
 func (l *Link) SetBWMode(m int) {
-	if l.cfg.Mechanism == MechNone || m == l.bwTarget {
+	if l.cfg.Mechanism == MechNone || m == l.bwTarget || l.state == StateFailed {
 		return
 	}
 	if m < 0 || m >= NumModes(l.cfg.Mechanism) {
@@ -486,7 +621,7 @@ func (l *Link) SetBWMode(m int) {
 	end := now + TransitionLatency(l.cfg.Mechanism)
 	l.bwTransEnd = end
 	l.kernel.Schedule(end, func() {
-		if l.bwTransEnd != end || l.bwTarget != m {
+		if l.bwTransEnd != end || l.bwTarget != m || l.state == StateFailed {
 			return // superseded
 		}
 		l.account(end)
@@ -507,7 +642,11 @@ func (l *Link) SetROOMode(m int) {
 
 // ForceFullPower puts the link in full power until ClearForce (the §V
 // AMS-violation response): full bandwidth, ROO suspended, woken if off.
+// A failed link cannot be forced back up.
 func (l *Link) ForceFullPower() {
+	if l.state == StateFailed {
+		return
+	}
 	l.forcedFull = true
 	l.SetBWMode(0)
 	l.offSeq++ // cancel pending off-checks

@@ -1,0 +1,245 @@
+package network
+
+import (
+	"errors"
+	"testing"
+
+	"memnet/internal/packet"
+	"memnet/internal/sim"
+	"memnet/internal/topology"
+)
+
+// TestFailLinkSeversSubtree kills the mid-chain link on a daisy chain:
+// upstream modules must keep serving, requests into the severed subtree
+// must complete as counted error responses, and nothing may panic or hang.
+func TestFailLinkSeversSubtree(t *testing.T) {
+	k, net := buildNet(t, topology.DaisyChain, 4, nil)
+	var errKinds []packet.Kind
+	net.OnReadComplete = func(p *packet.Packet) {
+		if p.Kind.IsError() {
+			errKinds = append(errKinds, p.Kind)
+		}
+	}
+
+	if err := net.FailLink(2 * 1); err != nil { // module 1's request link
+		t.Fatal(err)
+	}
+	for m := 0; m < 4; m++ {
+		if want := m >= 1; net.Unreachable(m) != want {
+			t.Fatalf("module %d unreachable = %v, want %v", m, !want, want)
+		}
+	}
+
+	// One read per module; modules 1–3 sit below the cut.
+	for m := 0; m < 4; m++ {
+		net.InjectRead(uint64(m)*net.Cfg.ChunkBytes, 0)
+		k.RunAll()
+	}
+
+	if net.readsDone != 1 {
+		t.Fatalf("readsDone = %d, want 1 (only module 0 reachable)", net.readsDone)
+	}
+	fs := net.FaultStats()
+	if fs.ReadsFailed != 3 {
+		t.Fatalf("ReadsFailed = %d, want 3", fs.ReadsFailed)
+	}
+	if len(errKinds) != 3 {
+		t.Fatalf("OnReadComplete saw %d error responses, want 3", len(errKinds))
+	}
+	for _, kind := range errKinds {
+		if kind != packet.ReadErr {
+			t.Fatalf("error completion kind = %v, want ReadErr", kind)
+		}
+	}
+	if fs.FailedLinks != 1 {
+		t.Fatalf("FailedLinks = %d, want 1", fs.FailedLinks)
+	}
+	// Latency of failed reads is accounted, and nothing is left pending.
+	if fs.FailLatSum <= 0 {
+		t.Fatal("failed reads carried no latency accounting")
+	}
+	if net.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d after RunAll", net.Outstanding())
+	}
+}
+
+// TestFailRootLink: with the root request link dead, an injection cannot
+// even enter the network; it must still complete as an error response
+// (deferred, never reentrant) rather than vanish.
+func TestFailRootLink(t *testing.T) {
+	k, net := buildNet(t, topology.DaisyChain, 2, nil)
+	completions := 0
+	net.OnReadComplete = func(p *packet.Packet) {
+		completions++
+		if !p.Kind.IsError() {
+			t.Fatalf("completion kind = %v, want an error", p.Kind)
+		}
+	}
+	if err := net.FailLink(0); err != nil {
+		t.Fatal(err)
+	}
+	id := net.InjectReadID(0, 0)
+	if completions != 0 {
+		t.Fatal("error completion delivered synchronously from InjectRead")
+	}
+	k.RunAll()
+	if completions != 1 {
+		t.Fatalf("completions = %d, want 1", completions)
+	}
+	if fs := net.FaultStats(); fs.ReadsFailed != 1 {
+		t.Fatalf("ReadsFailed = %d, want 1", fs.ReadsFailed)
+	}
+	_ = id
+}
+
+// TestFailModuleStrandsInflight fails a module while traffic to it is in
+// flight: stranded packets must resurface as error completions, not leak.
+func TestFailModuleStrandsInflight(t *testing.T) {
+	k, net := buildNet(t, topology.DaisyChain, 3, nil)
+	reads, errs := 0, 0
+	net.OnReadComplete = func(p *packet.Packet) {
+		reads++
+		if p.Kind.IsError() {
+			errs++
+		}
+	}
+	// Aim a burst at module 2 (the chain tail), then cut module 1 while
+	// the packets are still traversing module 0/1 queues.
+	for i := 0; i < 4; i++ {
+		net.InjectRead(2*net.Cfg.ChunkBytes+uint64(i)*64, 0)
+	}
+	k.After(2*sim.Nanosecond, func() {
+		if err := net.FailModule(1); err != nil {
+			t.Error(err)
+		}
+	})
+	k.RunAll()
+
+	fs := net.FaultStats()
+	if got := fs.ReadsFailed + fs.LostReads; got != 4 {
+		t.Fatalf("failed+lost = %d (failed=%d lost=%d), want all 4", got, fs.ReadsFailed, fs.LostReads)
+	}
+	if reads != int(fs.ReadsFailed) {
+		t.Fatalf("completions = %d, want %d error completions", reads, fs.ReadsFailed)
+	}
+	if net.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d, want 0 (lost responses are terminal here)", net.Outstanding())
+	}
+}
+
+// TestFailResponseLinkLosesResponse cuts only the response link after the
+// request went through: the response is dropped on the dead link and
+// counted lost — the frontend-timeout layer's job, not the network's.
+func TestFailResponseLinkLosesResponse(t *testing.T) {
+	k, net := buildNet(t, topology.DaisyChain, 2, nil)
+	net.OnReadComplete = func(p *packet.Packet) { t.Fatalf("completion %v crossed a dead response link", p) }
+	net.InjectRead(0, 0)
+	// Request reaches module 0 in ~4.4 ns; DRAM access takes far longer.
+	k.After(6*sim.Nanosecond, func() {
+		if err := net.FailLink(1); err != nil { // module 0's response link
+			t.Error(err)
+		}
+	})
+	k.RunAll()
+	fs := net.FaultStats()
+	if fs.LostReads != 1 {
+		t.Fatalf("LostReads = %d, want 1", fs.LostReads)
+	}
+	if net.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d, want 0", net.Outstanding())
+	}
+}
+
+// TestRouteReturnsErrorNotPanic locks in the panic→error conversion for
+// unroutable packets (the old code crashed the whole simulation).
+func TestRouteReturnsErrorNotPanic(t *testing.T) {
+	_, net := buildNet(t, topology.DaisyChain, 3, nil)
+	// Destination 0 is not strictly below module 1 — unroutable from there.
+	err := net.Modules[1].route(&packet.Packet{ID: 1, Kind: packet.ReadReq, Dst: 0})
+	if !errors.Is(err, ErrUnroutable) {
+		t.Fatalf("route error = %v, want ErrUnroutable", err)
+	}
+	if fs := net.FaultStats(); fs.RoutingErrors != 1 {
+		t.Fatalf("RoutingErrors = %d, want 1", fs.RoutingErrors)
+	}
+}
+
+// TestErrorResponsesPayEnergy: degradation is not free — the error
+// response generated below a cut travels the surviving links and its
+// flits show up in the energy/traffic accounting.
+func TestErrorResponsesPayEnergy(t *testing.T) {
+	k, net := buildNet(t, topology.DaisyChain, 3, nil)
+	// Cut module 2's request link: errors for dst=2 originate at module 1
+	// and must cross module 1's and module 0's response links.
+	if err := net.FailLink(2 * 2); err != nil {
+		t.Fatal(err)
+	}
+	k.RunAll() // settle the failure itself
+	resp0Busy := net.Links[1].BusyTime()
+	flits0 := net.Modules[1].FlitsRouted()
+
+	net.InjectRead(2*net.Cfg.ChunkBytes, 0)
+	k.RunAll()
+
+	if fs := net.FaultStats(); fs.ReadsFailed != 1 {
+		t.Fatalf("ReadsFailed = %d, want 1", fs.ReadsFailed)
+	}
+	if net.Links[1].BusyTime() <= resp0Busy {
+		t.Fatal("error response crossed module 0's response link without busy time")
+	}
+	if net.Modules[1].FlitsRouted() <= flits0 {
+		t.Fatal("error response flits not accounted in routed traffic")
+	}
+}
+
+// TestFailLinkValidation covers the error paths of the injection API.
+func TestFailLinkValidation(t *testing.T) {
+	_, net := buildNet(t, topology.DaisyChain, 2, nil)
+	if err := net.FailLink(-1); err == nil {
+		t.Fatal("FailLink(-1) accepted")
+	}
+	if err := net.FailLink(len(net.Links)); err == nil {
+		t.Fatal("FailLink(out of range) accepted")
+	}
+	if err := net.FailLink(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.FailLink(0); err != nil {
+		t.Fatalf("re-failing a dead link should be a no-op, got %v", err)
+	}
+	if fs := net.FaultStats(); fs.FailedLinks != 1 {
+		t.Fatalf("FailedLinks = %d, want 1", fs.FailedLinks)
+	}
+}
+
+// TestDumpStateMentionsFailure: the watchdog's diagnostic dump must make
+// a severed subtree visible at a glance.
+func TestDumpStateMentionsFailure(t *testing.T) {
+	_, net := buildNet(t, topology.DaisyChain, 3, nil)
+	if err := net.FailLink(2); err != nil {
+		t.Fatal(err)
+	}
+	dump := net.DumpState()
+	if dump == "" {
+		t.Fatal("empty dump")
+	}
+	if !containsAll(dump, "UNREACHABLE", "failed") {
+		t.Fatalf("dump does not surface the failure:\n%s", dump)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		found := false
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

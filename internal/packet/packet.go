@@ -33,6 +33,13 @@ const (
 	// leftover-AMS requests). Modelled as a single 64 B packet = 5 flits
 	// when charged to links.
 	Control
+	// ReadErr is an error response travelling upstream: the network could
+	// not deliver the read (severed link, unroutable destination) and
+	// completes it with an error instead of data. Header-only, one flit.
+	ReadErr
+	// WriteErr is the posted-write analogue of ReadErr, so the processor
+	// can release the write credit of a write the network had to drop.
+	WriteErr
 )
 
 // String implements fmt.Stringer.
@@ -46,6 +53,10 @@ func (k Kind) String() string {
 		return "ReadResp"
 	case Control:
 		return "Control"
+	case ReadErr:
+		return "ReadErr"
+	case WriteErr:
+		return "WriteErr"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -60,6 +71,8 @@ func (k Kind) Flits() int {
 		return 1 + LineBytes/FlitBytes
 	case Control:
 		return 1 + LineBytes/FlitBytes
+	case ReadErr, WriteErr:
+		return 1 // header-only error response, no data payload
 	default:
 		panic("packet: unknown kind")
 	}
@@ -71,8 +84,12 @@ func (k Kind) Flits() int {
 func (k Kind) IsRead() bool { return k == ReadReq || k == ReadResp }
 
 // Downstream reports whether packets of this kind travel on request links
-// (away from the processor) rather than response links.
+// (away from the processor) rather than response links. Error responses
+// travel upstream like data responses.
 func (k Kind) Downstream() bool { return k == ReadReq || k == WriteReq }
+
+// IsError reports whether the packet is a degradation-path error response.
+func (k Kind) IsError() bool { return k == ReadErr || k == WriteErr }
 
 // ProcessorID is the module ID used for the processor endpoint.
 const ProcessorID = -1
@@ -94,6 +111,10 @@ type Packet struct {
 	HopArrive sim.Time
 	// Hops counts link traversals so far (for Fig. 6).
 	Hops int
+	// Req is the originating request's packet ID, set on response and
+	// error packets so the processor's outstanding-request table can match
+	// completions (and discard late ones) after a timeout-driven retry.
+	Req uint64
 	// Core identifies the issuing core for closed-loop accounting; -1
 	// for traffic with no core attribution.
 	Core int

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WatchdogConfig tunes the no-progress detector.
+type WatchdogConfig struct {
+	// Interval is the simulated time between progress checks.
+	Interval Duration
+	// StallChecks is how many consecutive no-progress checks (while
+	// requests are outstanding) declare a stall.
+	StallChecks int
+}
+
+// DefaultWatchdogConfig returns a detector that fires after ~30 µs of
+// simulated quiescence, well past any legitimate wakeup/retry/refresh
+// stall in the modelled network.
+func DefaultWatchdogConfig() WatchdogConfig {
+	return WatchdogConfig{Interval: 10 * Microsecond, StallChecks: 3}
+}
+
+// Watchdog detects a simulation that has stopped making progress while
+// requests are still outstanding — the hang mode a severed link or lost
+// wakeup produces — and captures a diagnostic report instead of letting
+// the run hang or finish silently. It is driven entirely by simulated
+// time, so arming it never perturbs determinism across runs with the
+// same configuration.
+//
+// Two probes define progress: outstanding() is the number of requests in
+// flight, progress() a monotone completion counter. A stall is declared
+// when progress() is frozen for StallChecks consecutive intervals while
+// outstanding() > 0. CheckDrained covers the complementary hang: the
+// event queue drained (simulation "finished") with requests still in
+// flight.
+type Watchdog struct {
+	k           *Kernel
+	cfg         WatchdogConfig
+	outstanding func() int
+	progress    func() uint64
+	dump        func() string
+
+	// OnStall, if set, fires once with the report when a stall is
+	// detected.
+	OnStall func(report string)
+
+	lastProgress uint64
+	frozen       int
+	stalled      bool
+	report       string
+	stopped      bool
+	started      bool
+	ownPending   int // watchdog events in the kernel queue (for CheckDrained)
+}
+
+// NewWatchdog builds a watchdog over k. outstanding and progress are
+// required; dump may be nil.
+func NewWatchdog(k *Kernel, cfg WatchdogConfig, outstanding func() int, progress func() uint64, dump func() string) *Watchdog {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultWatchdogConfig().Interval
+	}
+	if cfg.StallChecks <= 0 {
+		cfg.StallChecks = DefaultWatchdogConfig().StallChecks
+	}
+	if outstanding == nil || progress == nil {
+		panic("sim: watchdog needs outstanding and progress probes")
+	}
+	return &Watchdog{k: k, cfg: cfg, outstanding: outstanding, progress: progress, dump: dump}
+}
+
+// Start arms the periodic checks. The watchdog reschedules itself until
+// Stop is called or a stall is detected, so use it with Kernel.Run (a
+// bounded horizon); with RunAll an armed watchdog would keep the queue
+// non-empty forever.
+func (w *Watchdog) Start() {
+	if w.started {
+		return
+	}
+	w.started = true
+	w.lastProgress = w.progress()
+	w.schedule()
+}
+
+// Stop disarms the watchdog; any already-queued check becomes a no-op.
+func (w *Watchdog) Stop() { w.stopped = true }
+
+// Stalled reports whether a stall has been detected.
+func (w *Watchdog) Stalled() bool { return w.stalled }
+
+// Report returns the diagnostic captured at stall time ("" if none).
+func (w *Watchdog) Report() string { return w.report }
+
+func (w *Watchdog) schedule() {
+	w.ownPending++
+	w.k.After(w.cfg.Interval, func() {
+		w.ownPending--
+		if w.stopped || w.stalled {
+			return
+		}
+		w.check()
+		if !w.stalled {
+			w.schedule()
+		}
+	})
+}
+
+// check runs one progress comparison.
+func (w *Watchdog) check() {
+	cur := w.progress()
+	switch {
+	case cur != w.lastProgress:
+		w.lastProgress = cur
+		w.frozen = 0
+	case w.outstanding() > 0:
+		w.frozen++
+		if w.frozen >= w.cfg.StallChecks {
+			w.declareStall("no progress for " +
+				(Duration(w.frozen) * w.cfg.Interval).String() +
+				" with requests outstanding")
+		}
+	default:
+		w.frozen = 0 // quiescent but idle: nothing owed
+	}
+}
+
+// CheckDrained declares a stall if the event queue has drained (ignoring
+// the watchdog's own queued checks) while requests are outstanding — the
+// "silently finishing" hang mode. Call it after the run returns.
+func (w *Watchdog) CheckDrained() bool {
+	if w.stalled {
+		return true
+	}
+	if w.k.Pending()-w.ownPending <= 0 && w.outstanding() > 0 {
+		w.declareStall("event queue drained with requests outstanding")
+	}
+	return w.stalled
+}
+
+func (w *Watchdog) declareStall(cause string) {
+	w.stalled = true
+	var b strings.Builder
+	fmt.Fprintf(&b, "watchdog: %s\n", cause)
+	fmt.Fprintf(&b, "  t=%s outstanding=%d progress=%d pending-events=%d\n",
+		w.k.Now(), w.outstanding(), w.progress(), w.k.Pending())
+	if w.dump != nil {
+		b.WriteString(w.dump())
+	}
+	w.report = b.String()
+	if w.OnStall != nil {
+		w.OnStall(w.report)
+	}
+}

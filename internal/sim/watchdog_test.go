@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// wdProbes is a mutable pair of probe values the watchdog samples.
+type wdProbes struct {
+	outstanding int
+	progress    uint64
+}
+
+func newTestWatchdog(k *Kernel, p *wdProbes) *Watchdog {
+	cfg := WatchdogConfig{Interval: 10 * Microsecond, StallChecks: 3}
+	return NewWatchdog(k, cfg,
+		func() int { return p.outstanding },
+		func() uint64 { return p.progress },
+		func() string { return "dump-marker" })
+}
+
+func TestWatchdogDetectsFrozenProgress(t *testing.T) {
+	k := NewKernel()
+	p := &wdProbes{outstanding: 4, progress: 100}
+	w := newTestWatchdog(k, p)
+	w.Start()
+	// Keep the kernel alive long enough for the stall to be declared;
+	// progress never moves while work is outstanding.
+	k.Run(200 * Microsecond)
+	if !w.Stalled() {
+		t.Fatal("watchdog missed a frozen simulation")
+	}
+	r := w.Report()
+	for _, want := range []string{"no progress", "outstanding=4", "progress=100", "dump-marker"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("report %q missing %q", r, want)
+		}
+	}
+	// Once stalled, the watchdog stops rescheduling itself.
+	if k.Pending() != 0 {
+		k.RunAll()
+	}
+	if !w.Stalled() {
+		t.Fatal("stall verdict did not stick")
+	}
+}
+
+func TestWatchdogToleratesSlowProgress(t *testing.T) {
+	k := NewKernel()
+	p := &wdProbes{outstanding: 4, progress: 0}
+	w := newTestWatchdog(k, p)
+	w.Start()
+	// Bump progress every 25 µs — slower than the check interval, but
+	// never frozen for StallChecks consecutive checks.
+	for i := 1; i <= 12; i++ {
+		at := Time(i) * 25 * Microsecond
+		k.Schedule(at, func() { p.progress++ })
+	}
+	k.Run(300 * Microsecond)
+	w.Stop()
+	k.RunAll()
+	if w.Stalled() {
+		t.Fatalf("false stall on a slow but live run:\n%s", w.Report())
+	}
+}
+
+func TestWatchdogIgnoresIdleSystem(t *testing.T) {
+	k := NewKernel()
+	p := &wdProbes{outstanding: 0, progress: 7}
+	w := newTestWatchdog(k, p)
+	w.Start()
+	k.Run(500 * Microsecond)
+	if w.Stalled() {
+		t.Fatal("stall declared with nothing outstanding")
+	}
+	w.Stop()
+	k.RunAll()
+}
+
+func TestWatchdogCheckDrained(t *testing.T) {
+	k := NewKernel()
+	p := &wdProbes{outstanding: 2, progress: 0}
+	w := newTestWatchdog(k, p)
+	w.Start()
+	// One check fires, then the event queue drains with work still
+	// outstanding: only the watchdog's own timer remains, which
+	// CheckDrained must discount.
+	k.Run(15 * Microsecond)
+	w.CheckDrained()
+	if !w.Stalled() {
+		t.Fatal("CheckDrained missed an empty queue with outstanding work")
+	}
+
+	// Same shape but fully completed: no stall.
+	k2 := NewKernel()
+	p2 := &wdProbes{outstanding: 0, progress: 9}
+	w2 := newTestWatchdog(k2, p2)
+	w2.Start()
+	k2.Run(15 * Microsecond)
+	w2.CheckDrained()
+	if w2.Stalled() {
+		t.Fatal("CheckDrained flagged a cleanly drained run")
+	}
+}
+
+func TestWatchdogStopDisarms(t *testing.T) {
+	k := NewKernel()
+	p := &wdProbes{outstanding: 3, progress: 0}
+	w := newTestWatchdog(k, p)
+	w.Start()
+	k.Run(15 * Microsecond) // one check elapses
+	w.Stop()
+	k.Run(500 * Microsecond)
+	if w.Stalled() {
+		t.Fatal("stopped watchdog still declared a stall")
+	}
+}
+
+func TestWatchdogOnStallHook(t *testing.T) {
+	k := NewKernel()
+	p := &wdProbes{outstanding: 1, progress: 0}
+	w := newTestWatchdog(k, p)
+	var hooked string
+	w.OnStall = func(report string) { hooked = report }
+	w.Start()
+	k.Run(200 * Microsecond)
+	if !w.Stalled() || hooked == "" {
+		t.Fatal("OnStall hook not invoked")
+	}
+	if hooked != w.Report() {
+		t.Fatal("hook saw a different report")
+	}
+}

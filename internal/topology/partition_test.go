@@ -1,0 +1,88 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// reachableWithoutUpEdge runs a BFS from the processor over the
+// parent/children graph with module cut's upstream edge removed, and
+// returns the set of modules it can no longer reach, sorted.
+func reachableWithoutUpEdge(topo *Topology, cut int) []int {
+	n := topo.N()
+	seen := make([]bool, n)
+	var frontier []int
+	for m := 0; m < n; m++ {
+		// Roots hang directly off the processor.
+		if topo.Parent(m) == -1 && m != cut {
+			seen[m] = true
+			frontier = append(frontier, m)
+		}
+	}
+	for len(frontier) > 0 {
+		m := frontier[0]
+		frontier = frontier[1:]
+		for _, c := range topo.Children(m) {
+			if c == cut || seen[c] { // cut's up-edge is the removed one
+				continue
+			}
+			seen[c] = true
+			frontier = append(frontier, c)
+		}
+	}
+	var lost []int
+	for m := 0; m < n; m++ {
+		if !seen[m] {
+			lost = append(lost, m)
+		}
+	}
+	return lost
+}
+
+// TestSingleLinkRemovalPartitionsSubtree is the partition property: for
+// every topology and every module c, removing the single link between c
+// and its parent must disconnect exactly Subtree(c) — nothing more (the
+// rest of the network survives) and nothing less (there is no redundant
+// path; these are all trees).
+func TestSingleLinkRemovalPartitionsSubtree(t *testing.T) {
+	for _, kind := range Kinds {
+		for _, n := range []int{1, 2, 4, 8, 9, 16, 27} {
+			topo, err := Build(kind, n)
+			if err != nil {
+				t.Fatalf("%v/%d: %v", kind, n, err)
+			}
+			for c := 0; c < topo.N(); c++ {
+				want := append([]int(nil), topo.Subtree(c)...)
+				sort.Ints(want)
+				got := reachableWithoutUpEdge(topo, c)
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("%v/%d: cutting above module %d partitions %v, want Subtree=%v",
+						kind, n, c, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSubtreeContainsSelfFirst pins the Subtree contract the network's
+// failure handling relies on: d itself is included and IDs ascend.
+func TestSubtreeContainsSelfFirst(t *testing.T) {
+	for _, kind := range Kinds {
+		topo, err := Build(kind, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d := 0; d < topo.N(); d++ {
+			sub := topo.Subtree(d)
+			if len(sub) == 0 || sub[0] != d {
+				t.Fatalf("%v: Subtree(%d) = %v, want it to start with %d", kind, d, sub, d)
+			}
+			for i := 1; i < len(sub); i++ {
+				if sub[i] <= sub[i-1] {
+					t.Fatalf("%v: Subtree(%d) = %v not ascending", kind, d, sub)
+				}
+			}
+		}
+	}
+}

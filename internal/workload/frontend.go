@@ -27,6 +27,17 @@ type FrontEndConfig struct {
 	SlotsOverride int
 	// Seed drives all randomness of this front end.
 	Seed uint64
+	// Timeout arms the outstanding-request table: every issued access gets
+	// a deadline, and a read whose response never arrives (severed link,
+	// dropped packet) is retried up to MaxRetries times with doubling
+	// backoff, then completed as a timeout error so its slot keeps
+	// working. Zero disables the table entirely and preserves the legacy
+	// wait-forever behavior byte for byte. Requires an injection target
+	// implementing TrackedInjector.
+	Timeout sim.Duration
+	// MaxRetries bounds timeout-driven re-issues per read (0 = no retry:
+	// first timeout abandons the access).
+	MaxRetries int
 }
 
 // DefaultFrontEndConfig mirrors Table II's 16-core processor.
@@ -39,6 +50,42 @@ func DefaultFrontEndConfig(seed uint64) FrontEndConfig {
 type Injector interface {
 	InjectRead(addr uint64, core int)
 	InjectWrite(addr uint64, core int)
+}
+
+// TrackedInjector is an injection target that reports request packet IDs,
+// which the timeout machinery needs to match completions (Packet.Req) to
+// table entries and discard late or duplicate responses.
+type TrackedInjector interface {
+	Injector
+	InjectReadID(addr uint64, core int) uint64
+	InjectWriteID(addr uint64, core int) uint64
+}
+
+// pendingRead is one slot's outstanding-read table entry.
+type pendingRead struct {
+	id      uint64 // packet ID of the current attempt
+	addr    uint64
+	retries int
+	seq     uint64 // bumped on every state change; stale timeout events no-op
+	active  bool
+}
+
+// FrontEndFaultStats aggregates the timeout machinery's counters.
+type FrontEndFaultStats struct {
+	// ReadTimeouts counts read deadline expiries (including ones that led
+	// to a successful retry); Retries of them were re-issued, Abandoned
+	// exhausted their retry budget and completed as timeout errors.
+	ReadTimeouts uint64
+	Retries      uint64
+	Abandoned    uint64
+	// ErrorReads/ErrorWrites count network error responses received.
+	ErrorReads  uint64
+	ErrorWrites uint64
+	// WriteTimeouts counts write credits reclaimed by deadline.
+	WriteTimeouts uint64
+	// LateResponses counts completions that arrived after their request
+	// had already timed out or been superseded (discarded).
+	LateResponses uint64
 }
 
 // FrontEnd drives one injection target with one workload profile.
@@ -66,6 +113,21 @@ type FrontEnd struct {
 
 	issuedReads  uint64
 	issuedWrites uint64
+
+	// Completion counters (maintained in both modes; they feed the
+	// watchdog's progress/outstanding probes without touching the event
+	// schedule).
+	completedReads  uint64
+	completedWrites uint64
+
+	// Outstanding-request table (active only when timeout > 0).
+	timeout       sim.Duration
+	maxRetries    int
+	tracked       TrackedInjector
+	reads         []pendingRead
+	pendingWrites map[uint64]struct{} // keyed access only — never iterated
+	timedOutIDs   []uint64
+	faults        FrontEndFaultStats
 }
 
 // ChannelBandwidthBytesPerSec is one direction of a full-width link.
@@ -135,12 +197,22 @@ func NewFrontEndOver(k *sim.Kernel, target Injector, p *Profile, cfg FrontEndCon
 		cfg.Cores = 16
 	}
 	fe := &FrontEnd{
-		kernel:  k,
-		target:  target,
-		profile: p,
-		rng:     sim.NewRNG(cfg.Seed),
-		sampler: NewSampler(p, packet.LineBytes),
-		onPhase: true,
+		kernel:     k,
+		target:     target,
+		profile:    p,
+		rng:        sim.NewRNG(cfg.Seed),
+		sampler:    NewSampler(p, packet.LineBytes),
+		onPhase:    true,
+		timeout:    cfg.Timeout,
+		maxRetries: cfg.MaxRetries,
+	}
+	if cfg.Timeout > 0 {
+		ti, ok := target.(TrackedInjector)
+		if !ok {
+			return nil, fmt.Errorf("workload: request timeouts need a TrackedInjector target, got %T", target)
+		}
+		fe.tracked = ti
+		fe.pendingWrites = make(map[uint64]struct{})
 	}
 
 	// --- Calibration ---
@@ -172,6 +244,9 @@ func NewFrontEndOver(k *sim.Kernel, target Injector, p *Profile, cfg FrontEndCon
 		}
 	}
 	fe.writeCap = 2 * fe.slots
+	if fe.timeout > 0 {
+		fe.reads = make([]pendingRead, fe.slots)
+	}
 	return fe, nil
 }
 
@@ -234,8 +309,12 @@ func (fe *FrontEnd) issue(slot int) {
 	addr := fe.sampler.Sample(fe.rng)
 	if fe.rng.Float64() < fe.profile.ReadFraction {
 		fe.issuedReads++
-		fe.target.InjectRead(addr, slot)
-		return // resumed by HandleReadComplete
+		if fe.timeout > 0 {
+			fe.startRead(slot, addr)
+		} else {
+			fe.target.InjectRead(addr, slot)
+		}
+		return // resumed by HandleReadComplete (or a timeout)
 	}
 	if fe.inFlightWrites >= fe.writeCap {
 		fe.writeParked = append(fe.writeParked, slot)
@@ -243,9 +322,72 @@ func (fe *FrontEnd) issue(slot int) {
 	}
 	fe.inFlightWrites++
 	fe.issuedWrites++
-	fe.target.InjectWrite(addr, -1)
+	if fe.timeout > 0 {
+		fe.startWrite(addr)
+	} else {
+		fe.target.InjectWrite(addr, -1)
+	}
 	// Writes are posted — the slot continues after its think jitter.
 	fe.resume(slot)
+}
+
+// startRead issues a tracked read for slot and arms its deadline.
+func (fe *FrontEnd) startRead(slot int, addr uint64) {
+	pr := &fe.reads[slot]
+	pr.seq++
+	pr.active = true
+	pr.addr = addr
+	pr.retries = 0
+	pr.id = fe.tracked.InjectReadID(addr, slot)
+	fe.armReadTimeout(slot, fe.timeout)
+}
+
+// armReadTimeout schedules the deadline for slot's current attempt. The
+// captured seq makes the event a no-op if the attempt resolves first.
+func (fe *FrontEnd) armReadTimeout(slot int, d sim.Duration) {
+	seq := fe.reads[slot].seq
+	fe.kernel.After(d, func() { fe.readTimeout(slot, seq) })
+}
+
+// readTimeout fires when slot's read deadline expires: retry with doubled
+// backoff while budget remains, then complete the access as a timeout
+// error so the slot is never stranded by a lost response.
+func (fe *FrontEnd) readTimeout(slot int, seq uint64) {
+	pr := &fe.reads[slot]
+	if !pr.active || pr.seq != seq {
+		return // completed or superseded before the deadline
+	}
+	fe.faults.ReadTimeouts++
+	fe.timedOutIDs = append(fe.timedOutIDs, pr.id)
+	if pr.retries < fe.maxRetries {
+		pr.retries++
+		fe.faults.Retries++
+		pr.seq++
+		pr.id = fe.tracked.InjectReadID(pr.addr, slot)
+		fe.armReadTimeout(slot, fe.timeout<<uint(pr.retries))
+		return
+	}
+	pr.active = false
+	pr.seq++
+	fe.faults.Abandoned++
+	fe.completedReads++
+	fe.resume(slot)
+}
+
+// startWrite issues a tracked write with a deadline that reclaims its
+// credit if no completion (retire or WriteErr) ever arrives, so a lost
+// write cannot leak write-cap credits and starve the writers.
+func (fe *FrontEnd) startWrite(addr uint64) {
+	id := fe.tracked.InjectWriteID(addr, -1)
+	fe.pendingWrites[id] = struct{}{}
+	fe.kernel.After(fe.timeout, func() {
+		if _, ok := fe.pendingWrites[id]; !ok {
+			return // completed in time
+		}
+		delete(fe.pendingWrites, id)
+		fe.faults.WriteTimeouts++
+		fe.releaseWriteCredit()
+	})
 }
 
 // resume schedules slot's next access after its think jitter.
@@ -254,22 +396,83 @@ func (fe *FrontEnd) resume(slot int) {
 	fe.kernel.After(think, func() { fe.issue(slot) })
 }
 
-// HandleReadComplete resumes the slot that owned the finished read.
+// HandleReadComplete resumes the slot that owned the finished read. With
+// the outstanding-request table armed, the completion (data or error)
+// must match the slot's current attempt; late responses to requests that
+// already timed out are discarded.
 func (fe *FrontEnd) HandleReadComplete(p *packet.Packet) {
-	if p.Core >= 0 {
-		fe.resume(p.Core)
+	if p.Core < 0 {
+		return
 	}
+	if fe.timeout <= 0 {
+		fe.completedReads++
+		fe.resume(p.Core)
+		return
+	}
+	pr := &fe.reads[p.Core]
+	if !pr.active || p.Req != pr.id {
+		fe.faults.LateResponses++
+		return
+	}
+	pr.active = false
+	pr.seq++ // disarm the pending deadline
+	if p.Kind.IsError() {
+		fe.faults.ErrorReads++
+	}
+	fe.completedReads++
+	fe.resume(p.Core)
 }
 
 // HandleWriteComplete frees a write credit and revives a parked writer.
-func (fe *FrontEnd) HandleWriteComplete(*packet.Packet) {
+func (fe *FrontEnd) HandleWriteComplete(p *packet.Packet) {
+	if fe.timeout <= 0 {
+		fe.releaseWriteCredit()
+		return
+	}
+	// A retired write completes with its own request packet; a failed one
+	// with a WriteErr referencing it.
+	id := p.ID
+	if p.Kind.IsError() {
+		id = p.Req
+		fe.faults.ErrorWrites++
+	}
+	if _, ok := fe.pendingWrites[id]; !ok {
+		fe.faults.LateResponses++ // deadline already reclaimed the credit
+		return
+	}
+	delete(fe.pendingWrites, id)
+	fe.releaseWriteCredit()
+}
+
+// releaseWriteCredit returns one write credit and revives a parked writer.
+func (fe *FrontEnd) releaseWriteCredit() {
 	fe.inFlightWrites--
+	fe.completedWrites++
 	if len(fe.writeParked) > 0 {
 		slot := fe.writeParked[0]
 		fe.writeParked = fe.writeParked[:copy(fe.writeParked, fe.writeParked[1:])]
 		fe.resume(slot)
 	}
 }
+
+// Outstanding counts accesses issued but not yet terminally resolved —
+// the processor-side probe the watchdog uses.
+func (fe *FrontEnd) Outstanding() int {
+	return int(fe.issuedReads-fe.completedReads) + fe.inFlightWrites
+}
+
+// Progress is a monotone completion counter (data, error, or timeout
+// resolution all count) — the watchdog's progress probe.
+func (fe *FrontEnd) Progress() uint64 {
+	return fe.completedReads + fe.completedWrites
+}
+
+// FaultStats returns the timeout machinery's counters.
+func (fe *FrontEnd) FaultStats() FrontEndFaultStats { return fe.faults }
+
+// TimedOutIDs returns the packet IDs of every read attempt whose deadline
+// expired, in expiry order — the determinism fixture for fault runs.
+func (fe *FrontEnd) TimedOutIDs() []uint64 { return fe.timedOutIDs }
 
 // String documents the substituted processor configuration (Table II).
 func (fe *FrontEnd) String() string {
