@@ -17,8 +17,15 @@ build:
 test:
 	$(GO) test ./...
 
+# race runs the whole suite under the race detector — including the sweep
+# executor tests in internal/exp, which fan hermetic simulations across a
+# worker pool and are the main thing the detector is here to watch.
 race:
 	$(GO) test -race ./...
 
+# bench regenerates the paper-shaped testing.B benchmarks and writes the
+# machine-readable sweep-executor record (events/sec, wall time, speedup)
+# to BENCH_sweep.json so the perf trajectory is tracked across PRs.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+	$(GO) run ./cmd/memnetsim -sweepbench BENCH_sweep.json

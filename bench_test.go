@@ -498,13 +498,74 @@ func BenchmarkAblationBER(b *testing.B) {
 }
 
 // BenchmarkKernel measures raw event throughput of the simulation kernel.
+// Steady-state schedule+step must report 0 allocs/op: the monomorphic
+// 4-ary heap has no interface boxing and no container/heap indirection.
 func BenchmarkKernel(b *testing.B) {
 	k := sim.NewKernel()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		k.Schedule(k.Now()+1, func() {})
 		k.Step()
 	}
+}
+
+// BenchmarkKernelScheduleStep measures the same cycle against a deep
+// pending queue — the realistic shape during a sweep, where thousands of
+// link/DRAM/management events are in flight. Also 0 allocs/op.
+func BenchmarkKernelScheduleStep(b *testing.B) {
+	k := sim.NewKernel()
+	for i := 0; i < 4096; i++ {
+		k.Schedule(sim.Time(i), func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(k.Now()+100, func() {})
+		k.Step()
+	}
+}
+
+// sweepBenchCells is the multi-cell sweep the executor benchmarks run:
+// the four representative workloads on big star networks, FP and managed.
+func sweepBenchCells(b *testing.B) []exp.Spec {
+	var specs []exp.Spec
+	for _, name := range benchWorkloads {
+		for _, mech := range []exp.Mech{exp.MechFP, exp.MechVWLROO} {
+			pol := core.PolicyNone
+			if mech != exp.MechFP {
+				pol = core.PolicyAware
+			}
+			spec := benchSpec(b, name, topology.Star, exp.Big, mech, pol, 0.05)
+			spec.SimTime = 100 * sim.Microsecond
+			spec.Warmup = 25 * sim.Microsecond
+			specs = append(specs, spec)
+		}
+	}
+	return specs
+}
+
+// BenchmarkSweepJobs1 / BenchmarkSweepJobs4 compare the sweep executor's
+// sequential and 4-worker wall clock over the same cells; on a 4+ core
+// machine Jobs4 should run the sweep at least 2x faster (cells are
+// hermetic, so scaling is limited only by cores — see TestSweepSpeedup).
+func BenchmarkSweepJobs1(b *testing.B) { benchSweep(b, 1) }
+func BenchmarkSweepJobs4(b *testing.B) { benchSweep(b, 4) }
+
+func benchSweep(b *testing.B, jobs int) {
+	specs := sweepBenchCells(b)
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := exp.RunSpecs(specs, jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, res := range results {
+			events += res.Events
+		}
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds()/1e6, "Mevents/s")
 }
 
 // BenchmarkLinkTransmit measures the per-packet cost of the link model.

@@ -14,9 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"memnet/internal/exp"
+	"memnet/internal/fault"
 	"memnet/internal/sim"
 )
 
@@ -35,6 +37,9 @@ func main() {
 	warmup := flag.String("warmup", "100us", "simulated warmup per run")
 	outDir := flag.String("outdir", "", "also write each experiment's output to <outdir>/<name>.txt")
 	verbose := flag.Bool("v", false, "print a line per fresh simulation run")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0),
+		"parallel simulation workers per experiment (1 = sequential; output is identical either way)")
+	faultsFile := flag.String("faults", "", "JSON fault scenario applied to every cell of the sweep")
 	flag.Parse()
 
 	if *list || *runName == "" {
@@ -62,6 +67,15 @@ func main() {
 	if *verbose {
 		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
+	r.Jobs = *jobs
+	if *faultsFile != "" {
+		sc, err := fault.LoadScenario(*faultsFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -faults: %v\n", err)
+			os.Exit(1)
+		}
+		r.Faults = sc
+	}
 
 	save := func(name, out string) {
 		if *outDir == "" {
@@ -82,7 +96,7 @@ func main() {
 	if *runName == "all" {
 		for _, e := range exp.Registry {
 			start := time.Now()
-			out := e.Run(r)
+			out := r.Generate(e)
 			fmt.Printf("\n%s\n(%s in %.1fs)\n", out, e.Name, time.Since(start).Seconds())
 			save(e.Name, out)
 		}
@@ -94,7 +108,7 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println()
-	out := e.Run(r)
+	out := r.Generate(e)
 	fmt.Print(out)
 	save(e.Name, out)
 }

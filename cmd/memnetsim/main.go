@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"memnet/internal/core"
@@ -40,10 +41,18 @@ func main() {
 	timeoutF := flag.String("timeout", "", "per-request timeout, e.g. 2us (empty = wait forever)")
 	retries := flag.Int("retries", 2, "timeout-driven read retries (with -timeout)")
 	watchdog := flag.Bool("watchdog", false, "arm the no-progress watchdog")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0),
+		"parallel workers for -config batches and -sweepbench (1 = legacy sequential)")
+	sweepbench := flag.String("sweepbench", "",
+		"run the standard benchmark sweep at -jobs 1 and -jobs N and write the comparison JSON to this path")
 	flag.Parse()
 
+	if *sweepbench != "" {
+		runSweepBench(*sweepbench, *jobs)
+		return
+	}
 	if *config != "" {
-		runBatch(*config)
+		runBatch(*config, *jobs)
 		return
 	}
 
@@ -119,8 +128,9 @@ func main() {
 	report(res, time.Since(start))
 }
 
-// runBatch executes every run in a JSON config file.
-func runBatch(path string) {
+// runBatch executes every run in a JSON config file across jobs workers;
+// reports print in config order regardless of completion order.
+func runBatch(path string, jobs int) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -130,15 +140,35 @@ func runBatch(path string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i, spec := range specs {
-		start := time.Now()
-		res, err := exp.Run(spec)
-		if err != nil {
-			log.Fatalf("run %d: %v", i, err)
-		}
-		fmt.Printf("--- run %d/%d ---\n", i+1, len(specs))
-		report(res, time.Since(start))
+	start := time.Now()
+	results, err := exp.RunSpecs(specs, jobs)
+	if err != nil {
+		log.Fatal(err)
 	}
+	for i, res := range results {
+		fmt.Printf("--- run %d/%d ---\n", i+1, len(specs))
+		report(res, 0) // per-run wall time is meaningless under the pool
+	}
+	fmt.Printf("batch: %d runs in %.2fs wall (-jobs %d)\n",
+		len(specs), time.Since(start).Seconds(), jobs)
+}
+
+// runSweepBench measures the sweep executor against the sequential path
+// and writes the machine-readable record tracked across PRs.
+func runSweepBench(path string, jobs int) {
+	specs, err := exp.BenchSweepSpecs(100*sim.Microsecond, 25*sim.Microsecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench, err := exp.MeasureSweep(specs, jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := bench.WriteJSON(path); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(bench)
+	fmt.Printf("wrote %s\n", path)
 }
 
 // report prints one run's results.
@@ -166,8 +196,13 @@ func report(res exp.Result, wall time.Duration) {
 		fmt.Printf("  timeouts:      %d read deadlines (%d retried, %d abandoned), %d write credits reclaimed, %d late responses\n",
 			fe.ReadTimeouts, fe.Retries, fe.Abandoned, fe.WriteTimeouts, fe.LateResponses)
 	}
-	fmt.Printf("  simulated %s in %.2fs wall (%.1fM events)\n",
-		spec.SimTime+spec.Warmup, wall.Seconds(), float64(res.Events)/1e6)
+	if wall > 0 {
+		fmt.Printf("  simulated %s in %.2fs wall (%.1fM events)\n",
+			spec.SimTime+spec.Warmup, wall.Seconds(), float64(res.Events)/1e6)
+	} else {
+		fmt.Printf("  simulated %s (%.1fM events)\n",
+			spec.SimTime+spec.Warmup, float64(res.Events)/1e6)
+	}
 }
 
 // runTrace replays the spec with per-epoch reporting.

@@ -109,10 +109,12 @@ type Spec struct {
 	Watchdog bool
 }
 
-// key identifies a spec for memoization.
+// key identifies a spec for memoization. The footprint rides along with
+// the workload name because studies that perturb a named profile (e.g. the
+// scaling study's truncated is.D) must not collide with the original.
 func (s Spec) key() string {
-	k := fmt.Sprintf("%s|%s|%s|%s|%s|%g|%d|%d|%d|%v|%v|%d",
-		s.Workload.Name, s.Topology, s.Size, s.Mech, s.Policy, s.Alpha,
+	k := fmt.Sprintf("%s/%dGB|%s|%s|%s|%s|%g|%d|%d|%d|%v|%v|%d",
+		s.Workload.Name, s.Workload.FootprintGB, s.Topology, s.Size, s.Mech, s.Policy, s.Alpha,
 		s.Wakeup, s.SimTime, s.Warmup, s.Interleave, s.CollectLinkHours, s.SeedSalt)
 	if len(s.Faults.Events) > 0 || s.RequestTimeout > 0 || s.Watchdog {
 		k += fmt.Sprintf("|f=%s|t=%d|r=%d|w=%v",
@@ -299,12 +301,30 @@ type Runner struct {
 	// sweep (or benchmark) fails fast with a diagnostic instead of
 	// spinning until an external timeout.
 	Watchdog bool
+	// Jobs is the sweep executor's worker count: 0 means
+	// runtime.GOMAXPROCS(0), 1 is the legacy fully sequential path. Any
+	// value produces byte-identical figure output (see sweep_test.go);
+	// only wall-clock time changes.
+	Jobs int
+	// Faults, when non-empty, attaches the scenario to every spec that
+	// does not carry its own — the whole figure sweep re-run under fault
+	// injection.
+	Faults fault.Scenario
 	// Workloads restricts figure sweeps to a subset (nil = all 14 paper
 	// workloads). Tests use it to exercise the generators cheaply.
 	Workloads []*workload.Profile
-	// Progress, if non-nil, receives one line per fresh (non-cached) run.
+	// Progress, if non-nil, receives one line per fresh (non-cached) run,
+	// always in deterministic sweep order.
 	Progress func(string)
 	cache    map[string]Result
+
+	// collecting flips Run into cell-recording mode: instead of
+	// simulating, Run enqueues the spec and returns a placeholder result.
+	// Generate's first pass uses it to discover a generator's sweep cells
+	// before fanning them across the worker pool (see sweep.go).
+	collecting bool
+	pending    []Spec
+	pendingKey map[string]bool
 }
 
 // NewRunner returns a runner with the package defaults.
@@ -312,8 +332,10 @@ func NewRunner() *Runner {
 	return &Runner{SimTime: DefaultSimTime, Warmup: DefaultWarmup, cache: map[string]Result{}}
 }
 
-// Run executes (or recalls) a spec with the runner's time settings.
-func (r *Runner) Run(spec Spec) Result {
+// normalize applies the runner's settings to spec. Every path that
+// computes a cache key — live runs, the collect pass, and Prefetch — goes
+// through it so keys always agree.
+func (r *Runner) normalize(spec Spec) Spec {
 	if spec.SimTime <= 0 {
 		spec.SimTime = r.SimTime
 	}
@@ -323,9 +345,27 @@ func (r *Runner) Run(spec Spec) Result {
 	if r.Watchdog {
 		spec.Watchdog = true
 	}
+	if len(spec.Faults.Events) == 0 && len(r.Faults.Events) > 0 {
+		spec.Faults = r.Faults
+	}
+	return spec
+}
+
+// Run executes (or recalls) a spec with the runner's time settings.
+func (r *Runner) Run(spec Spec) Result {
+	spec = r.normalize(spec)
 	k := spec.key()
 	if res, ok := r.cache[k]; ok {
 		return res
+	}
+	if r.collecting {
+		if !r.pendingKey[k] {
+			r.pendingKey[k] = true
+			r.pending = append(r.pending, spec)
+		}
+		// Placeholder carrying just the fields generators dereference
+		// while rendering; the collect pass's output is discarded.
+		return Result{Spec: spec, Hist: &stats.LinkHourHist{}}
 	}
 	res, err := Run(spec)
 	if err != nil {

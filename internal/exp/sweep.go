@@ -1,0 +1,131 @@
+// Parallel sweep execution. The paper's figures are sweeps over
+// {topology × size × workload × mechanism × policy} — dozens of fully
+// independent simulations. Each cell builds its own kernel, network and
+// workload (see Run), so cells share nothing and fan out cleanly across
+// GOMAXPROCS goroutines.
+//
+// Generate runs an experiment in two passes. The collect pass dry-runs
+// the generator with Runner.collecting set: every Runner.Run call
+// enqueues its cell instead of simulating, so the generator's own control
+// flow enumerates the sweep — there is no second copy of the cell lists
+// to drift out of sync. The execute pass fans the recorded cells across
+// the worker pool and commits results to the memo cache in sweep order.
+// The final render replays the generator against the warm cache, so
+// output is byte-identical to the sequential path regardless of job count
+// or completion order.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// jobs resolves the runner's worker count.
+func (r *Runner) jobs() int {
+	if r.Jobs > 0 {
+		return r.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Generate renders one experiment, fanning its simulation cells across
+// the runner's worker pool. With Jobs == 1 it is exactly e.Run(r).
+func (r *Runner) Generate(e Experiment) string {
+	if r.jobs() > 1 {
+		r.Prefetch(r.Collect(e.Run))
+	}
+	return e.Run(r)
+}
+
+// Collect dry-runs gen and returns every cell it would simulate, in
+// first-use order, deduplicated against each other and the memo cache.
+func (r *Runner) Collect(gen func(*Runner) string) []Spec {
+	r.collecting = true
+	r.pendingKey = map[string]bool{}
+	defer func() {
+		r.collecting = false
+		r.pending = nil
+		r.pendingKey = nil
+	}()
+	gen(r)
+	return r.pending
+}
+
+// Prefetch executes specs across the worker pool and memoizes the
+// results. Progress lines and cache commits happen in sweep order after
+// the pool drains, independent of completion order.
+func (r *Runner) Prefetch(specs []Spec) {
+	var todo []Spec
+	for _, s := range specs {
+		s = r.normalize(s)
+		if _, ok := r.cache[s.key()]; !ok {
+			todo = append(todo, s)
+		}
+	}
+	if len(todo) == 0 {
+		return
+	}
+	results, err := RunSpecs(todo, r.jobs())
+	if err != nil {
+		// Same contract as the sequential path in Runner.Run: figure
+		// specs are validated by construction, an error is a harness bug.
+		panic(fmt.Sprintf("exp: %v", err))
+	}
+	for i, res := range results {
+		r.cache[todo[i].key()] = res
+		if r.Progress != nil {
+			r.Progress(fmt.Sprintf("ran %s (%.1fM events)",
+				todo[i].key(), float64(res.Events)/1e6))
+		}
+	}
+}
+
+// RunSpecs executes specs with jobs parallel workers (<= 0 means
+// runtime.GOMAXPROCS(0)) and returns their results in input order. Each
+// job is hermetic — own kernel, network, workload, RNG — so the only
+// shared state is the output slot each worker owns. A non-nil error is
+// the input-order-first failure; the other results are still returned.
+func RunSpecs(specs []Spec, jobs int) ([]Result, error) {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(specs) {
+		jobs = len(specs)
+	}
+	results := make([]Result, len(specs))
+	errs := make([]error, len(specs))
+	if jobs <= 1 {
+		for i, s := range specs {
+			results[i], errs[i] = Run(s)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < jobs; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(specs) {
+						return
+					}
+					results[i], errs[i] = Run(specs[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			desc := "invalid spec"
+			if specs[i].Workload != nil {
+				desc = specs[i].key()
+			}
+			return results, fmt.Errorf("run %d (%s): %w", i, desc, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,123 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"memnet/internal/core"
+	"memnet/internal/sim"
+	"memnet/internal/topology"
+	"memnet/internal/workload"
+)
+
+// SweepBench is the machine-readable record `make bench` writes to
+// BENCH_sweep.json so the simulator's performance trajectory — kernel
+// event throughput and sweep-executor scaling — is tracked across PRs.
+type SweepBench struct {
+	// Cells is the number of independent simulations in the sweep.
+	Cells int `json:"cells"`
+	// Jobs is the parallel worker count measured against -jobs 1.
+	Jobs       int `json:"jobs"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Events is the total simulated events across the sweep (identical
+	// for both executions; asserted by MeasureSweep).
+	Events       uint64  `json:"events"`
+	WallSeqSec   float64 `json:"wall_seq_sec"`
+	WallParSec   float64 `json:"wall_par_sec"`
+	EventsPerSec struct {
+		Seq float64 `json:"seq"`
+		Par float64 `json:"par"`
+	} `json:"events_per_sec"`
+	// Speedup is sequential wall time over parallel wall time.
+	Speedup float64 `json:"speedup"`
+}
+
+// String renders the one-line human summary.
+func (b SweepBench) String() string {
+	return fmt.Sprintf(
+		"sweep: %d cells, %d events; -jobs 1: %.2fs (%.1fM ev/s); -jobs %d: %.2fs (%.1fM ev/s); speedup %.2fx (GOMAXPROCS=%d)",
+		b.Cells, b.Events, b.WallSeqSec, b.EventsPerSec.Seq/1e6,
+		b.Jobs, b.WallParSec, b.EventsPerSec.Par/1e6, b.Speedup, b.GOMAXPROCS)
+}
+
+// BenchSweepSpecs builds the standard benchmark sweep: the representative
+// workload subset (bench_test.go's set) crossed with every topology and
+// the FP / VWL+ROO extremes — 32 hermetic cells.
+func BenchSweepSpecs(simTime, warmup sim.Duration) ([]Spec, error) {
+	var specs []Spec
+	for _, name := range []string{"sp.D", "mixB", "mg.D", "mixC"} {
+		wl, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, topo := range topology.Kinds {
+			for _, cfg := range []struct {
+				mech Mech
+				pol  core.PolicyKind
+			}{{MechFP, core.PolicyNone}, {MechVWLROO, core.PolicyAware}} {
+				specs = append(specs, Spec{
+					Workload: wl, Topology: topo, Size: Big,
+					Mech: cfg.mech, Policy: cfg.pol, Alpha: 0.05,
+					SimTime: simTime, Warmup: warmup,
+				})
+			}
+		}
+	}
+	return specs, nil
+}
+
+// MeasureSweep runs specs once with one worker and once with jobs
+// workers, wall-clocks both, and cross-checks that the parallel execution
+// produced identical simulations (same total event count).
+func MeasureSweep(specs []Spec, jobs int) (SweepBench, error) {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	seq, err := RunSpecs(specs, 1)
+	if err != nil {
+		return SweepBench{}, err
+	}
+	wallSeq := time.Since(start).Seconds()
+
+	start = time.Now()
+	par, err := RunSpecs(specs, jobs)
+	if err != nil {
+		return SweepBench{}, err
+	}
+	wallPar := time.Since(start).Seconds()
+
+	var b SweepBench
+	b.Cells = len(specs)
+	b.Jobs = jobs
+	b.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	for i := range seq {
+		if par[i].Events != seq[i].Events || par[i].Throughput != seq[i].Throughput {
+			return b, fmt.Errorf("exp: cell %d diverged between -jobs 1 and -jobs %d (%d vs %d events)",
+				i, jobs, seq[i].Events, par[i].Events)
+		}
+		b.Events += seq[i].Events
+	}
+	b.WallSeqSec = wallSeq
+	b.WallParSec = wallPar
+	if wallSeq > 0 {
+		b.EventsPerSec.Seq = float64(b.Events) / wallSeq
+	}
+	if wallPar > 0 {
+		b.EventsPerSec.Par = float64(b.Events) / wallPar
+		b.Speedup = wallSeq / wallPar
+	}
+	return b, nil
+}
+
+// WriteJSON writes the record to path, indented for diffability.
+func (b SweepBench) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // event is a scheduled closure. seq breaks ties so that events scheduled
 // for the same instant run in insertion order, keeping runs deterministic.
 type event struct {
@@ -10,29 +8,23 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
+// heapArity is the fan-out of the event queue's d-ary heap. Four keeps the
+// tree half as deep as a binary heap for the same size, so the pop-side
+// sift-down — the expensive half of a discrete-event loop, where every
+// level is a round of dependent loads — touches fewer cache lines, while
+// the push-side sift-up still compares against a single parent per level.
+const heapArity = 4
 
 // Kernel is a discrete-event simulation engine. The zero value is ready to
 // use; Schedule events and call Run.
+//
+// The queue is a monomorphic heapArity-ary min-heap over []event ordered
+// by (at, seq). Keeping it concrete — rather than container/heap — removes
+// the interface boxing and virtual Push/Pop calls from the hottest path in
+// the simulator: steady-state Schedule+Step performs zero heap allocations
+// (see TestKernelScheduleStepZeroAllocs and BenchmarkKernelScheduleStep).
 type Kernel struct {
-	events eventHeap
+	events []event
 	now    Time
 	seq    uint64
 	count  uint64
@@ -40,7 +32,7 @@ type Kernel struct {
 
 // NewKernel returns a kernel with some event capacity preallocated.
 func NewKernel() *Kernel {
-	return &Kernel{events: make(eventHeap, 0, 1024)}
+	return &Kernel{events: make([]event, 0, 1024)}
 }
 
 // Now returns the current simulated time.
@@ -53,6 +45,66 @@ func (k *Kernel) Processed() uint64 { return k.count }
 // Pending returns the number of events still queued.
 func (k *Kernel) Pending() int { return len(k.events) }
 
+// before reports whether the event at index i must run before the one at
+// index j: earlier time first, insertion order within the same instant.
+func (k *Kernel) before(i, j int) bool {
+	a, b := &k.events[i], &k.events[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push appends e and restores the heap by sifting it up.
+func (k *Kernel) push(e event) {
+	k.events = append(k.events, e)
+	i := len(k.events) - 1
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !k.before(i, p) {
+			break
+		}
+		k.events[i], k.events[p] = k.events[p], k.events[i]
+		i = p
+	}
+}
+
+// pop removes and returns the minimum event. The vacated slot at the old
+// tail is zeroed so the retired closure — and everything it captures — is
+// collectable immediately instead of being pinned by the backing array for
+// the rest of the run (the container/heap-era implementation leaked every
+// popped fn this way).
+func (k *Kernel) pop() event {
+	e := k.events[0]
+	n := len(k.events) - 1
+	k.events[0] = k.events[n]
+	k.events[n] = event{}
+	k.events = k.events[:n]
+	i := 0
+	for {
+		c := i*heapArity + 1
+		if c >= n {
+			break
+		}
+		end := c + heapArity
+		if end > n {
+			end = n
+		}
+		min := c
+		for j := c + 1; j < end; j++ {
+			if k.before(j, min) {
+				min = j
+			}
+		}
+		if !k.before(min, i) {
+			break
+		}
+		k.events[i], k.events[min] = k.events[min], k.events[i]
+		i = min
+	}
+	return e
+}
+
 // Schedule runs fn at absolute time at. Scheduling in the past panics:
 // that is always a simulator bug, never a recoverable condition.
 func (k *Kernel) Schedule(at Time, fn func()) {
@@ -60,7 +112,7 @@ func (k *Kernel) Schedule(at Time, fn func()) {
 		panic("sim: scheduling event in the past")
 	}
 	k.seq++
-	heap.Push(&k.events, event{at: at, seq: k.seq, fn: fn})
+	k.push(event{at: at, seq: k.seq, fn: fn})
 }
 
 // After runs fn d picoseconds from now.
@@ -72,7 +124,7 @@ func (k *Kernel) Step() bool {
 	if len(k.events) == 0 {
 		return false
 	}
-	e := heap.Pop(&k.events).(event)
+	e := k.pop()
 	k.now = e.at
 	k.count++
 	e.fn()

@@ -127,6 +127,81 @@ func TestKernelDeterminism(t *testing.T) {
 	}
 }
 
+// TestKernelRandomOrderMatchesSort drives the 4-ary heap with random
+// schedule/step interleavings and checks events fire in nondecreasing time
+// with insertion order preserved within an instant — the full ordering
+// contract, against an oracle.
+func TestKernelRandomOrderMatchesSort(t *testing.T) {
+	k := NewKernel()
+	rng := NewRNG(11)
+	type stamp struct {
+		at  Time
+		idx int
+	}
+	var fired []stamp
+	for i := 0; i < 500; i++ {
+		i := i
+		at := k.Now() + Time(rng.Intn(200))
+		k.Schedule(at, func() { fired = append(fired, stamp{at, i}) })
+		if rng.Intn(3) == 0 {
+			k.Step() // interleave pops so the heap shrinks and regrows
+		}
+	}
+	k.RunAll()
+	if len(fired) != 500 {
+		t.Fatalf("fired %d events, want 500", len(fired))
+	}
+	for i := 1; i < len(fired); i++ {
+		a, b := fired[i-1], fired[i]
+		if b.at < a.at {
+			t.Fatalf("time order violated at %d: %v after %v", i, b.at, a.at)
+		}
+		if b.at == a.at && b.idx < a.idx {
+			t.Fatalf("insertion order violated at %d: #%d after #%d", i, b.idx, a.idx)
+		}
+	}
+}
+
+// TestKernelStepClearsRetiredSlots is the regression test for the
+// container/heap-era leak where eventHeap.Pop left the popped slot's fn
+// alive in the backing array, pinning every retired closure's captured
+// state for the life of the run. The replacement heap must zero vacated
+// slots on pop.
+func TestKernelStepClearsRetiredSlots(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 64; i++ {
+		payload := make([]byte, 1<<10) // captured state the slot would pin
+		k.Schedule(Time(i%7), func() { payload[0]++ })
+	}
+	k.RunAll()
+	spare := k.events[:cap(k.events)]
+	for i := range spare {
+		if spare[i].fn != nil || spare[i].at != 0 || spare[i].seq != 0 {
+			t.Fatalf("retired slot %d still populated (at=%v seq=%d fn=%v)",
+				i, spare[i].at, spare[i].seq, spare[i].fn != nil)
+		}
+	}
+}
+
+func nop() {}
+
+// TestKernelScheduleStepZeroAllocs proves the monomorphic heap's headline
+// property: once the backing array has grown, a schedule+step cycle
+// allocates nothing — no interface boxing, no container/heap indirection.
+func TestKernelScheduleStepZeroAllocs(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 4096; i++ {
+		k.Schedule(Time(i), nop) // deep steady-state queue
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		k.Schedule(k.Now()+100, nop)
+		k.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule+step allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
 func TestTimeString(t *testing.T) {
 	cases := []struct {
 		in   Time
