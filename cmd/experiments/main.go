@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"time"
 
+	"memnet/internal/audit"
 	"memnet/internal/exp"
 	"memnet/internal/fault"
 	"memnet/internal/sim"
@@ -40,6 +41,10 @@ func main() {
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0),
 		"parallel simulation workers per experiment (1 = sequential; output is identical either way)")
 	faultsFile := flag.String("faults", "", "JSON fault scenario applied to every cell of the sweep")
+	auditEvery := flag.Int("audit", audit.DefaultSampleEvery,
+		"invariant auditor sampling stride (1 = check every observation, 0 = disable)")
+	journalPath := flag.String("journal", "",
+		"append completed cells to this JSON-lines file and resume from it on restart")
 	flag.Parse()
 
 	if *list || *runName == "" {
@@ -60,14 +65,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bad -simtime: %v\n", err)
 		os.Exit(1)
 	}
+	if r.SimTime <= 0 {
+		fmt.Fprintf(os.Stderr, "bad -simtime: must be positive, got %s\n", *simtime)
+		os.Exit(1)
+	}
 	if r.Warmup, err = parseDuration(*warmup); err != nil {
 		fmt.Fprintf(os.Stderr, "bad -warmup: %v\n", err)
+		os.Exit(1)
+	}
+	if r.Warmup < 0 {
+		fmt.Fprintf(os.Stderr, "bad -warmup: must be non-negative, got %s\n", *warmup)
+		os.Exit(1)
+	}
+	if *jobs < 1 {
+		fmt.Fprintf(os.Stderr, "bad -jobs: need at least 1 worker, got %d\n", *jobs)
+		os.Exit(1)
+	}
+	if *auditEvery < 0 {
+		fmt.Fprintf(os.Stderr, "bad -audit: stride must be >= 0 (0 disables), got %d\n", *auditEvery)
 		os.Exit(1)
 	}
 	if *verbose {
 		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
 	r.Jobs = *jobs
+	if *auditEvery == 0 {
+		r.Audit = -1
+	} else {
+		r.Audit = *auditEvery
+	}
 	if *faultsFile != "" {
 		sc, err := fault.LoadScenario(*faultsFile)
 		if err != nil {
@@ -75,6 +101,31 @@ func main() {
 			os.Exit(1)
 		}
 		r.Faults = sc
+	}
+	if *journalPath != "" {
+		j, loaded, err := exp.OpenJournal(*journalPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -journal: %v\n", err)
+			os.Exit(1)
+		}
+		defer j.Close()
+		if len(loaded) > 0 {
+			fmt.Fprintf(os.Stderr, "journal: resuming with %d completed cell(s) from %s\n", len(loaded), *journalPath)
+		}
+		r.AttachJournal(j, loaded)
+	}
+	// Cell failures (audit violations, stalls, recovered panics) are
+	// reported after rendering: the healthy cells still produce output.
+	reportFailures := func() {
+		fails := r.Failures()
+		if len(fails) == 0 {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "\n%d cell(s) failed:\n", len(fails))
+		for _, f := range fails {
+			fmt.Fprintf(os.Stderr, "  %s: %v\n", f.Key, f.Err)
+		}
+		os.Exit(1)
 	}
 
 	save := func(name, out string) {
@@ -100,6 +151,7 @@ func main() {
 			fmt.Printf("\n%s\n(%s in %.1fs)\n", out, e.Name, time.Since(start).Seconds())
 			save(e.Name, out)
 		}
+		reportFailures()
 		return
 	}
 	e, ok := exp.Lookup(*runName)
@@ -111,4 +163,5 @@ func main() {
 	out := r.Generate(e)
 	fmt.Print(out)
 	save(e.Name, out)
+	reportFailures()
 }

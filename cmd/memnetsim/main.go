@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"time"
 
+	"memnet/internal/audit"
 	"memnet/internal/core"
 	"memnet/internal/exp"
 	"memnet/internal/fault"
@@ -45,14 +46,34 @@ func main() {
 		"parallel workers for -config batches and -sweepbench (1 = legacy sequential)")
 	sweepbench := flag.String("sweepbench", "",
 		"run the standard benchmark sweep at -jobs 1 and -jobs N and write the comparison JSON to this path")
+	auditEvery := flag.Int("audit", audit.DefaultSampleEvery,
+		"invariant auditor sampling stride (1 = check every observation, 0 = disable)")
+	journalPath := flag.String("journal", "",
+		"with -config: append completed runs to this JSON-lines file and resume from it on restart")
 	flag.Parse()
+
+	if *jobs < 1 {
+		log.Fatalf("bad -jobs: need at least 1 worker, got %d", *jobs)
+	}
+	if *auditEvery < 0 {
+		log.Fatalf("bad -audit: stride must be >= 0 (0 disables), got %d", *auditEvery)
+	}
+	if *retries < 0 {
+		log.Fatalf("bad -retries: must be non-negative, got %d", *retries)
+	}
+	if *wakeup <= 0 {
+		log.Fatalf("bad -wakeup: must be a positive nanosecond count, got %d", *wakeup)
+	}
+	if *alpha < 0 {
+		log.Fatalf("bad -alpha: slowdown factor must be non-negative, got %g", *alpha)
+	}
 
 	if *sweepbench != "" {
 		runSweepBench(*sweepbench, *jobs)
 		return
 	}
 	if *config != "" {
-		runBatch(*config, *jobs)
+		runBatch(*config, *jobs, *auditEvery, *journalPath)
 		return
 	}
 
@@ -82,9 +103,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if st <= 0 {
+		log.Fatalf("bad -simtime: must be positive, got %s", *simtime)
+	}
 	wu, err := time.ParseDuration(*warmupF)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if wu < 0 {
+		log.Fatalf("bad -warmup: must be non-negative, got %s", *warmupF)
 	}
 
 	spec := exp.Spec{
@@ -99,6 +126,11 @@ func main() {
 		Warmup:   sim.Duration(wu.Nanoseconds()) * sim.Nanosecond,
 		Watchdog: *watchdog,
 	}
+	if *auditEvery > 0 {
+		spec.AuditEvery = *auditEvery
+	} else {
+		spec.AuditEvery = -1
+	}
 	if *faultsFile != "" {
 		sc, err := fault.LoadScenario(*faultsFile)
 		if err != nil {
@@ -110,6 +142,9 @@ func main() {
 		to, err := time.ParseDuration(*timeoutF)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if to <= 0 {
+			log.Fatalf("bad -timeout: must be positive, got %s", *timeoutF)
 		}
 		spec.RequestTimeout = sim.Duration(to.Nanoseconds()) * sim.Nanosecond
 		spec.MaxRetries = *retries
@@ -129,8 +164,11 @@ func main() {
 }
 
 // runBatch executes every run in a JSON config file across jobs workers;
-// reports print in config order regardless of completion order.
-func runBatch(path string, jobs int) {
+// reports print in config order regardless of completion order. A failed
+// run (audit violation, stall, recovered panic) is reported in place and
+// flips the exit status without aborting the remaining runs; with
+// -journal, completed runs are restored on restart instead of re-run.
+func runBatch(path string, jobs, auditEvery int, journalPath string) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -140,17 +178,45 @@ func runBatch(path string, jobs int) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	start := time.Now()
-	results, err := exp.RunSpecs(specs, jobs)
-	if err != nil {
-		log.Fatal(err)
+	for i := range specs {
+		if specs[i].AuditEvery == 0 {
+			if auditEvery > 0 {
+				specs[i].AuditEvery = auditEvery
+			} else {
+				specs[i].AuditEvery = -1
+			}
+		}
 	}
+	var j *exp.Journal
+	loaded := map[string]exp.Result{}
+	if journalPath != "" {
+		j, loaded, err = exp.OpenJournal(journalPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer j.Close()
+		if len(loaded) > 0 {
+			fmt.Fprintf(os.Stderr, "journal: resuming with %d completed run(s) from %s\n", len(loaded), journalPath)
+		}
+	}
+	start := time.Now()
+	results, errs := exp.RunSpecsJournaled(specs, jobs, j, loaded)
+	failed := 0
 	for i, res := range results {
 		fmt.Printf("--- run %d/%d ---\n", i+1, len(specs))
+		if errs[i] != nil {
+			failed++
+			fmt.Printf("FAILED: %v\n", errs[i])
+			continue
+		}
 		report(res, 0) // per-run wall time is meaningless under the pool
 	}
 	fmt.Printf("batch: %d runs in %.2fs wall (-jobs %d)\n",
 		len(specs), time.Since(start).Seconds(), jobs)
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d of %d runs failed\n", failed, len(specs))
+		os.Exit(1)
+	}
 }
 
 // runSweepBench measures the sweep executor against the sequential path

@@ -8,6 +8,7 @@ package dram
 import (
 	"fmt"
 
+	"memnet/internal/audit"
 	"memnet/internal/sim"
 )
 
@@ -155,6 +156,44 @@ type HMCDRAM struct {
 	// OnReadStart, if set, fires when a read access enters service —
 	// the hook the proactive response-link wakeup ([22]) uses.
 	OnReadStart func()
+
+	// Runtime invariant auditing (nil = unaudited).
+	aud       *audit.Auditor
+	auditName string
+	auditPrev Stats
+}
+
+// AttachAudit wires the runtime invariant auditor: vault queue insertions
+// are sample-checked against QueueDepth, read completions assert the
+// outstanding-read count stays non-negative, and a registered sweep walks
+// every vault and the statistics counters. module names the component in
+// violations. Purely observational.
+func (d *HMCDRAM) AttachAudit(a *audit.Auditor, module int) {
+	d.aud = a
+	d.auditName = fmt.Sprintf("dram[%d]", module)
+	d.auditPrev = d.stats
+	a.RegisterSweep(d.auditSweep)
+}
+
+// auditSweep checks every vault's queue bound and the monotone/sign
+// invariants of the accumulated statistics.
+func (d *HMCDRAM) auditSweep(now sim.Time, report func(component, rule, detail string)) {
+	for i := range d.vaults {
+		if q := len(d.vaults[i].queue); q > d.cfg.QueueDepth {
+			report(d.auditName, "vault-queue-bound",
+				fmt.Sprintf("vault %d holds %d requests, depth %d", i, q, d.cfg.QueueDepth))
+		}
+	}
+	if d.outstandingReads < 0 {
+		report(d.auditName, "outstanding-reads",
+			fmt.Sprintf("outstanding reads went negative: %d", d.outstandingReads))
+	}
+	p, s := d.auditPrev, d.stats
+	if s.Reads < p.Reads || s.Writes < p.Writes || s.BytesTransferred < p.BytesTransferred ||
+		s.TotalReadLatency < p.TotalReadLatency || s.BusyTime < p.BusyTime {
+		report(d.auditName, "stats-monotone", fmt.Sprintf("stats regressed: %+v -> %+v", p, s))
+	}
+	d.auditPrev = s
 }
 
 // Stall blocks every vault from starting new accesses until now+dur, the
@@ -269,6 +308,10 @@ func (d *HMCDRAM) Access(addr uint64, isRead bool, done func()) bool {
 		v.queue[idx] = request{addr: addr, isRead: true, done: done}
 	} else {
 		v.queue = append(v.queue, request{addr: addr, isRead: false, done: done})
+	}
+	if d.aud.Sample() && len(v.queue) > d.cfg.QueueDepth {
+		d.aud.Reportf(d.auditName, "vault-queue-bound",
+			"vault %d accepted past its depth: %d > %d", v.idx, len(v.queue), d.cfg.QueueDepth)
 	}
 	if !v.inService {
 		d.serviceNext(v)
@@ -395,6 +438,10 @@ func (d *HMCDRAM) serviceNext(v *vault) {
 	d.kernel.Schedule(dataEnd, func() {
 		if req.isRead {
 			d.outstandingReads--
+			if d.outstandingReads < 0 {
+				d.aud.Reportf(d.auditName, "outstanding-reads",
+					"read completion drove outstanding reads to %d", d.outstandingReads)
+			}
 		}
 		if req.done != nil {
 			req.done()

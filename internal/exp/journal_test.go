@@ -1,0 +1,332 @@
+package exp
+
+import (
+	"errors"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"memnet/internal/core"
+)
+
+// TestJournalRoundTrip appends results and reloads them through
+// OpenJournal.
+func TestJournalRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/sweep.jsonl"
+	j, loaded, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 0 {
+		t.Fatalf("fresh journal loaded %d entries", len(loaded))
+	}
+	spec := tinySpec(core.PolicyNone, MechFP)
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(spec.key(), res); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, loaded, err = OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := loaded[spec.key()]
+	if !ok {
+		t.Fatalf("journal lost the entry; loaded keys: %v", loaded)
+	}
+	// The spec is replaced by the caller on restore; compare the rest.
+	got.Spec = res.Spec
+	if !reflect.DeepEqual(got, res) {
+		t.Fatalf("journal round trip diverged:\nwrote: %+v\nread:  %+v", res, got)
+	}
+}
+
+// TestJournalTornTailRecovery simulates a crash mid-append: a partial
+// final line must be truncated away, keeping every complete entry and an
+// appendable file.
+func TestJournalTornTailRecovery(t *testing.T) {
+	path := t.TempDir() + "/sweep.jsonl"
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tinySpec(core.PolicyNone, MechFP)
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(spec.key(), res); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"key":"torn-mid-wr`)
+	f.Close()
+
+	j2, loaded, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 1 {
+		t.Fatalf("recovered %d entries, want 1", len(loaded))
+	}
+	// The file must be appendable again: a new entry after recovery must
+	// survive the next load.
+	spec2 := tinySpec(core.PolicyAware, MechVWLROO)
+	if err := j2.Append(spec2.key(), res); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, loaded, err = OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 2 {
+		t.Fatalf("post-recovery append lost data: %d entries, want 2", len(loaded))
+	}
+	data, _ := os.ReadFile(path)
+	if strings.Contains(string(data), "torn-mid-wr") {
+		t.Fatal("torn tail survived recovery")
+	}
+}
+
+// TestJournalResumeByteIdentical is the crash-safety acceptance test: run
+// a figure sweep with a journal, truncate the journal to its first half
+// (simulating a kill partway through), re-render with a fresh runner, and
+// require byte-identical output with only the missing cells re-simulated.
+func TestJournalResumeByteIdentical(t *testing.T) {
+	testResume(t, false)
+}
+
+// TestJournalResumeByteIdenticalWithFaults repeats the resume check with
+// the standard fault scenario on every cell, covering the lossy
+// fault-spec JSON round trip (restored specs are replaced by canonical
+// ones).
+func TestJournalResumeByteIdenticalWithFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy generator sweep")
+	}
+	testResume(t, true)
+}
+
+func testResume(t *testing.T, faults bool) {
+	t.Helper()
+	dir := t.TempDir()
+	mk := func() *Runner {
+		r := tinyRunner()
+		r.Jobs = 4
+		if faults {
+			r.Faults = sweepScenario()
+		}
+		return r
+	}
+
+	// Uninterrupted reference run, journaling as it goes.
+	r1 := mk()
+	j1, loaded, err := OpenJournal(dir + "/ref.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.AttachJournal(j1, loaded)
+	want := renderFigures(r1)
+	j1.Close()
+
+	// Simulate a crash partway: keep only the first half of the journal
+	// lines (plus a torn tail for good measure).
+	data, err := os.ReadFile(dir + "/ref.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	total := 0
+	for _, l := range lines {
+		if strings.TrimSpace(l) != "" {
+			total++
+		}
+	}
+	if total < 4 {
+		t.Fatalf("journal too small to truncate meaningfully: %d entries", total)
+	}
+	keep := strings.Join(lines[:total/2], "") + `{"key":"torn`
+	if err := os.WriteFile(dir+"/resume.jsonl", []byte(keep), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := mk()
+	fresh := 0
+	restored := 0
+	r2.Progress = func(s string) {
+		switch {
+		case strings.HasPrefix(s, "ran "):
+			fresh++
+		case strings.HasPrefix(s, "restored "):
+			restored++
+		}
+	}
+	j2, loaded, err := OpenJournal(dir + "/resume.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != total/2 {
+		t.Fatalf("resume loaded %d cells, want %d", len(loaded), total/2)
+	}
+	r2.AttachJournal(j2, loaded)
+	got := renderFigures(r2)
+	j2.Close()
+
+	if got != want {
+		t.Fatalf("resumed output differs from uninterrupted run:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+	if restored != total/2 {
+		t.Errorf("restored %d cells, want %d", restored, total/2)
+	}
+	if fresh != total-total/2 {
+		t.Errorf("re-simulated %d cells, want %d", fresh, total-total/2)
+	}
+	if len(r2.Failures()) != 0 {
+		t.Errorf("resume recorded failures: %v", r2.Failures())
+	}
+	// The resumed journal must now be complete: a third run is all cache.
+	r3 := mk()
+	fresh3 := 0
+	r3.Progress = func(s string) {
+		if strings.HasPrefix(s, "ran ") {
+			fresh3++
+		}
+	}
+	j3, loaded, err := OpenJournal(dir + "/resume.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.AttachJournal(j3, loaded)
+	if got3 := renderFigures(r3); got3 != want {
+		t.Error("third (fully journaled) render diverged")
+	}
+	j3.Close()
+	if fresh3 != 0 {
+		t.Errorf("fully journaled render re-simulated %d cells", fresh3)
+	}
+}
+
+// TestRunSpecsJournaled covers the batch path: a journaled batch re-run
+// restores every cell and produces deeply equal results.
+func TestRunSpecsJournaled(t *testing.T) {
+	path := t.TempDir() + "/batch.jsonl"
+	var specs []Spec
+	for salt := uint64(0); salt < 3; salt++ {
+		s := tinySpec(core.PolicyAware, MechVWLROO)
+		s.SeedSalt = salt
+		specs = append(specs, s)
+	}
+	j, loaded, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, errs := RunSpecsJournaled(specs, 2, j, loaded)
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("cell %d: %v", i, e)
+		}
+	}
+	j.Close()
+
+	j, loaded, err = OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(specs) {
+		t.Fatalf("journal holds %d cells, want %d", len(loaded), len(specs))
+	}
+	second, errs := RunSpecsJournaled(specs, 2, j, loaded)
+	j.Close()
+	for i := range specs {
+		if errs[i] != nil {
+			t.Fatalf("restored cell %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(first[i], second[i]) {
+			t.Errorf("cell %d diverged after journal restore:\nfirst:  %+v\nsecond: %+v",
+				i, first[i], second[i])
+		}
+	}
+}
+
+// TestRunSpecsAllContainsPanics injects a panicking cell through the test
+// seam and checks it fails alone: aligned error slot, structured
+// *PanicError with a stack, and untouched neighbors.
+func TestRunSpecsAllContainsPanics(t *testing.T) {
+	orig := runImpl
+	runImpl = func(s Spec) (Result, error) {
+		if s.SeedSalt == 1 {
+			panic("injected cell corruption")
+		}
+		return Run(s)
+	}
+	defer func() { runImpl = orig }()
+
+	var specs []Spec
+	for salt := uint64(0); salt < 3; salt++ {
+		s := tinySpec(core.PolicyNone, MechFP)
+		s.SeedSalt = salt
+		specs = append(specs, s)
+	}
+	results, errs := RunSpecsAll(specs, 3)
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("healthy cells failed: %v / %v", errs[0], errs[2])
+	}
+	if results[0].Throughput <= 0 || results[2].Throughput <= 0 {
+		t.Fatal("healthy cells produced empty results")
+	}
+	var pe *PanicError
+	if !errors.As(errs[1], &pe) {
+		t.Fatalf("errs[1] = %v, want *PanicError", errs[1])
+	}
+	if pe.Value != "injected cell corruption" || !strings.Contains(pe.Stack, "runCell") {
+		t.Fatalf("panic not preserved: value=%v stack has runCell=%v", pe.Value, strings.Contains(pe.Stack, "runCell"))
+	}
+}
+
+// TestPrefetchSurvivesPanickingCell checks the sweep path: one panicking
+// cell becomes a recorded failure with a placeholder result, and the
+// figure render still completes.
+func TestPrefetchSurvivesPanickingCell(t *testing.T) {
+	orig := runImpl
+	var poisoned string
+	runImpl = func(s Spec) (Result, error) {
+		if s.key() == poisoned {
+			panic("poisoned cell")
+		}
+		return Run(s)
+	}
+	defer func() { runImpl = orig }()
+
+	r := tinyRunner()
+	r.Jobs = 4
+	e, _ := Lookup("fig5")
+	specs := r.Collect(e.Run)
+	if len(specs) == 0 {
+		t.Fatal("no cells collected")
+	}
+	poisoned = specs[len(specs)/2].key()
+	out := r.Generate(e)
+	if len(out) < 40 {
+		t.Fatalf("render did not complete: %q", out)
+	}
+	fails := r.Failures()
+	if len(fails) != 1 || fails[0].Key != poisoned {
+		t.Fatalf("failures = %+v, want exactly the poisoned cell", fails)
+	}
+	var pe *PanicError
+	if !errors.As(fails[0].Err, &pe) {
+		t.Fatalf("failure error = %v, want *PanicError", fails[0].Err)
+	}
+}

@@ -8,6 +8,7 @@ package exp
 import (
 	"fmt"
 
+	"memnet/internal/audit"
 	"memnet/internal/core"
 	"memnet/internal/fault"
 	"memnet/internal/link"
@@ -107,6 +108,15 @@ type Spec struct {
 	// run with the diagnostic dump instead of hanging or silently
 	// finishing short.
 	Watchdog bool
+	// AuditEvery arms the runtime invariant auditor with this sampling
+	// stride (1 = check every observation, the full-rate property-test
+	// mode). Zero and negative leave the run unaudited; Runner.normalize
+	// resolves zero to the runner's default. Detected violations fail the
+	// run with a structured *audit.Error. The auditor is observational —
+	// it cannot change a result — so AuditEvery is deliberately excluded
+	// from key(): audited and unaudited runs share cache and journal
+	// entries.
+	AuditEvery int
 }
 
 // key identifies a spec for memoization. The footprint rides along with
@@ -121,6 +131,22 @@ func (s Spec) key() string {
 			s.Faults.Key(), s.RequestTimeout, s.MaxRetries, s.Watchdog)
 	}
 	return k
+}
+
+// resolved applies Run's time/wakeup defaults. Fresh results carry the
+// resolved spec, so journal restores resolve too — otherwise a restored
+// Result.Spec would differ from a recomputed one.
+func (s Spec) resolved() Spec {
+	if s.SimTime <= 0 {
+		s.SimTime = DefaultSimTime
+	}
+	if s.Warmup < 0 {
+		s.Warmup = DefaultWarmup
+	}
+	if s.Wakeup <= 0 {
+		s.Wakeup = link.WakeupDefault
+	}
+	return s
 }
 
 // seed derives the workload seed. It deliberately excludes mechanism,
@@ -200,15 +226,7 @@ func Run(spec Spec) (Result, error) {
 	if err := spec.Workload.Validate(); err != nil {
 		return Result{}, err
 	}
-	if spec.SimTime <= 0 {
-		spec.SimTime = DefaultSimTime
-	}
-	if spec.Warmup < 0 {
-		spec.Warmup = DefaultWarmup
-	}
-	if spec.Wakeup <= 0 {
-		spec.Wakeup = link.WakeupDefault
-	}
+	spec = spec.resolved()
 
 	kernel := sim.NewKernel()
 	nModules := spec.Workload.Modules(spec.Size.ChunkGB())
@@ -229,12 +247,45 @@ func Run(spec Spec) (Result, error) {
 	mcfg.CollectLinkHours = spec.CollectLinkHours
 	mgr := core.Attach(kernel, net, mcfg)
 
+	var aud *audit.Auditor
+	if spec.AuditEvery > 0 {
+		aud = audit.New(audit.Config{SampleEvery: uint64(spec.AuditEvery)}, kernel.Now)
+		net.AttachAudit(aud)
+		aud.RegisterSweep(func(now sim.Time, report func(component, rule, detail string)) {
+			if err := kernel.CheckInvariants(); err != nil {
+				report("kernel", "event-queue", err.Error())
+			}
+		})
+	}
+
 	fcfg := workload.DefaultFrontEndConfig(spec.seed())
 	fcfg.Timeout = spec.RequestTimeout
 	fcfg.MaxRetries = spec.MaxRetries
 	fe, err := workload.NewFrontEnd(kernel, net, spec.Workload, fcfg)
 	if err != nil {
 		return Result{}, err
+	}
+	if aud != nil {
+		// Flit/request conservation across the front-end boundary: every
+		// injected read is either an original issue or a timeout retry, and
+		// writes map one-to-one. Holds mid-event because both sides update
+		// their counters before anything samplable runs.
+		aud.RegisterSweep(func(now sim.Time, report func(component, rule, detail string)) {
+			injR, injW := net.Injected()
+			issR, issW := fe.Issued()
+			if retries := fe.FaultStats().Retries; injR != issR+retries {
+				report("frontend", "read-conservation", fmt.Sprintf(
+					"injected reads %d != issued %d + retries %d", injR, issR, retries))
+			}
+			if injW != issW {
+				report("frontend", "write-conservation", fmt.Sprintf(
+					"injected writes %d != issued %d", injW, issW))
+			}
+			if out := fe.Outstanding(); out < 0 {
+				report("frontend", "outstanding-negative", fmt.Sprintf(
+					"outstanding request count %d", out))
+			}
+		})
 	}
 
 	var inj *fault.Injector
@@ -255,6 +306,7 @@ func Run(spec Spec) (Result, error) {
 	kernel.Run(spec.Warmup)
 	snap0 := net.TakeSnapshot()
 	net.LatencyHist().Reset()
+	aud.RunSweeps() // full pass at the warmup boundary (nil-safe)
 	kernel.Run(spec.Warmup + spec.SimTime)
 	snap1 := net.TakeSnapshot()
 	if dog != nil {
@@ -289,6 +341,26 @@ func Run(spec Spec) (Result, error) {
 	if inj != nil {
 		res.FaultsInjected = inj.Counts()
 	}
+	if aud != nil {
+		// End-of-run audit: a final full sweep over every registered
+		// component, then the interval-level energy checks. These read the
+		// snapshots (already integrated) rather than live accumulators, so
+		// they cannot perturb the accounting they validate.
+		aud.RunSweeps()
+		if snap1.Energy.Total() < snap0.Energy.Total() {
+			aud.Reportf("power", "energy-monotone",
+				"interval energy decreased: %g J -> %g J", snap0.Energy.Total(), snap1.Energy.Total())
+		}
+		if err := snap1.Energy.Check(); err != nil {
+			aud.Reportf("power", "cumulative-energy", "%v", err)
+		}
+		if err := res.Power.Check(); err != nil {
+			aud.Reportf("power", "interval-power", "%v", err)
+		}
+		if err := aud.Err(); err != nil {
+			return Result{}, fmt.Errorf("exp: %s: %w", spec.key(), err)
+		}
+	}
 	return res, nil
 }
 
@@ -316,7 +388,23 @@ type Runner struct {
 	// Progress, if non-nil, receives one line per fresh (non-cached) run,
 	// always in deterministic sweep order.
 	Progress func(string)
-	cache    map[string]Result
+	// Audit sets the invariant auditor's sampling stride for every run
+	// that does not carry its own: 0 means the default stride
+	// (audit.DefaultSampleEvery), negative disables auditing, positive is
+	// an explicit stride (1 = full rate).
+	Audit int
+	cache map[string]Result
+
+	// journal, when attached, persists every fresh result as one JSON
+	// line so an interrupted sweep resumes without recomputation;
+	// journaled holds the results restored from a previous run, consumed
+	// (and re-keyed to the caller's canonical spec) on first use.
+	journal   *Journal
+	journaled map[string]Result
+	// failures records cells that errored or panicked; the sweep carries
+	// on with placeholder results and the caller decides how loudly to
+	// fail (see Failures).
+	failures []CellFailure
 
 	// collecting flips Run into cell-recording mode: instead of
 	// simulating, Run enqueues the spec and returns a placeholder result.
@@ -348,6 +436,16 @@ func (r *Runner) normalize(spec Spec) Spec {
 	if len(spec.Faults.Events) == 0 && len(r.Faults.Events) > 0 {
 		spec.Faults = r.Faults
 	}
+	if spec.AuditEvery == 0 {
+		switch {
+		case r.Audit < 0:
+			spec.AuditEvery = -1
+		case r.Audit == 0:
+			spec.AuditEvery = audit.DefaultSampleEvery
+		default:
+			spec.AuditEvery = r.Audit
+		}
+	}
 	return spec
 }
 
@@ -367,17 +465,70 @@ func (r *Runner) Run(spec Spec) Result {
 		// while rendering; the collect pass's output is discarded.
 		return Result{Spec: spec, Hist: &stats.LinkHourHist{}}
 	}
-	res, err := Run(spec)
+	if res, ok := r.fromJournal(k, spec); ok {
+		if r.Progress != nil {
+			r.Progress(fmt.Sprintf("restored %s from journal", k))
+		}
+		r.cache[k] = res
+		return res
+	}
+	res, err := runCell(spec)
 	if err != nil {
-		// Specs are assembled by the figure generators from validated
-		// inputs; an error here is a harness bug.
-		panic(fmt.Sprintf("exp: %v", err))
+		// A failed cell (audit violation, stall, or recovered panic) fails
+		// gracefully: record it, cache a placeholder so rendering
+		// completes, and let the caller inspect Failures().
+		r.failures = append(r.failures, CellFailure{Key: k, Err: err})
+		if r.Progress != nil {
+			r.Progress(fmt.Sprintf("FAILED %s: %v", k, err))
+		}
+		res = Result{Spec: spec, Hist: &stats.LinkHourHist{}}
+		r.cache[k] = res
+		return res
 	}
 	if r.Progress != nil {
 		r.Progress(fmt.Sprintf("ran %s (%.1fM events)", k, float64(res.Events)/1e6))
 	}
+	if r.journal != nil {
+		if err := r.journal.Append(k, res); err != nil {
+			r.failures = append(r.failures, CellFailure{Key: k, Err: fmt.Errorf("journal: %w", err)})
+		}
+	}
 	r.cache[k] = res
 	return res
+}
+
+// CellFailure is one sweep cell that could not produce a result.
+type CellFailure struct {
+	Key string
+	Err error
+}
+
+// Failures returns every cell failure recorded so far, in the order the
+// cells ran.
+func (r *Runner) Failures() []CellFailure { return r.failures }
+
+// AttachJournal directs the runner to restore results from loaded (keyed
+// by Spec.key) and to append every fresh result to j.
+func (r *Runner) AttachJournal(j *Journal, loaded map[string]Result) {
+	r.journal = j
+	r.journaled = loaded
+}
+
+// fromJournal consumes a restored result for k, if present. The restored
+// Spec is replaced with the caller's canonical normalized spec: JSON does
+// not round-trip every Spec field bit-exactly (fault scenario durations),
+// and downstream baseline lookups re-derive keys from res.Spec.
+func (r *Runner) fromJournal(k string, spec Spec) (Result, bool) {
+	res, ok := r.journaled[k]
+	if !ok {
+		return Result{}, false
+	}
+	delete(r.journaled, k)
+	res.Spec = spec.resolved()
+	if res.Hist == nil {
+		res.Hist = &stats.LinkHourHist{}
+	}
+	return res, true
 }
 
 // FPBaseline returns the paired full-power run for spec.

@@ -18,8 +18,11 @@ package exp
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"memnet/internal/stats"
 )
 
 // jobs resolves the runner's worker count.
@@ -55,39 +58,86 @@ func (r *Runner) Collect(gen func(*Runner) string) []Spec {
 
 // Prefetch executes specs across the worker pool and memoizes the
 // results. Progress lines and cache commits happen in sweep order after
-// the pool drains, independent of completion order.
+// the pool drains, independent of completion order. Journaled cells are
+// restored without simulating; failed cells (errors and recovered
+// panics) get placeholder results and are recorded in Failures, so one
+// bad cell cannot take down the rest of the sweep.
 func (r *Runner) Prefetch(specs []Spec) {
 	var todo []Spec
 	for _, s := range specs {
 		s = r.normalize(s)
-		if _, ok := r.cache[s.key()]; !ok {
-			todo = append(todo, s)
+		k := s.key()
+		if _, ok := r.cache[k]; ok {
+			continue
 		}
+		if res, ok := r.fromJournal(k, s); ok {
+			if r.Progress != nil {
+				r.Progress(fmt.Sprintf("restored %s from journal", k))
+			}
+			r.cache[k] = res
+			continue
+		}
+		todo = append(todo, s)
 	}
 	if len(todo) == 0 {
 		return
 	}
-	results, err := RunSpecs(todo, r.jobs())
-	if err != nil {
-		// Same contract as the sequential path in Runner.Run: figure
-		// specs are validated by construction, an error is a harness bug.
-		panic(fmt.Sprintf("exp: %v", err))
-	}
+	results, errs := RunSpecsAll(todo, r.jobs())
 	for i, res := range results {
-		r.cache[todo[i].key()] = res
+		k := todo[i].key()
+		if err := errs[i]; err != nil {
+			r.failures = append(r.failures, CellFailure{Key: k, Err: err})
+			if r.Progress != nil {
+				r.Progress(fmt.Sprintf("FAILED %s: %v", k, err))
+			}
+			r.cache[k] = Result{Spec: todo[i], Hist: &stats.LinkHourHist{}}
+			continue
+		}
+		r.cache[k] = res
 		if r.Progress != nil {
-			r.Progress(fmt.Sprintf("ran %s (%.1fM events)",
-				todo[i].key(), float64(res.Events)/1e6))
+			r.Progress(fmt.Sprintf("ran %s (%.1fM events)", k, float64(res.Events)/1e6))
+		}
+		if r.journal != nil {
+			if err := r.journal.Append(k, res); err != nil {
+				r.failures = append(r.failures, CellFailure{Key: k, Err: fmt.Errorf("journal: %w", err)})
+			}
 		}
 	}
 }
 
-// RunSpecs executes specs with jobs parallel workers (<= 0 means
-// runtime.GOMAXPROCS(0)) and returns their results in input order. Each
-// job is hermetic — own kernel, network, workload, RNG — so the only
-// shared state is the output slot each worker owns. A non-nil error is
-// the input-order-first failure; the other results are still returned.
-func RunSpecs(specs []Spec, jobs int) ([]Result, error) {
+// PanicError wraps a panic recovered inside a sweep worker, preserving
+// the panic value and the goroutine stack at the point of recovery.
+type PanicError struct {
+	Value any
+	Stack string
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("cell panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// runImpl is swapped by tests to inject panicking/failing cells.
+var runImpl = Run
+
+// runCell executes one sweep cell, converting a panic anywhere under Run
+// into a structured *PanicError so a corrupted cell fails alone instead
+// of crashing the process (and, in the pool, the whole sweep).
+func runCell(spec Spec) (res Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: string(debug.Stack())}
+		}
+	}()
+	return runImpl(spec)
+}
+
+// RunSpecsAll executes specs with jobs parallel workers (<= 0 means
+// runtime.GOMAXPROCS(0)) and returns results and errors aligned with the
+// input. Each job is hermetic — own kernel, network, workload, RNG — so
+// the only shared state is the output slot each worker owns. Panics are
+// contained per cell (see runCell).
+func RunSpecsAll(specs []Spec, jobs int) ([]Result, []error) {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
@@ -98,7 +148,7 @@ func RunSpecs(specs []Spec, jobs int) ([]Result, error) {
 	errs := make([]error, len(specs))
 	if jobs <= 1 {
 		for i, s := range specs {
-			results[i], errs[i] = Run(s)
+			results[i], errs[i] = runCell(s)
 		}
 	} else {
 		var next atomic.Int64
@@ -112,12 +162,20 @@ func RunSpecs(specs []Spec, jobs int) ([]Result, error) {
 					if i >= len(specs) {
 						return
 					}
-					results[i], errs[i] = Run(specs[i])
+					results[i], errs[i] = runCell(specs[i])
 				}
 			}()
 		}
 		wg.Wait()
 	}
+	return results, errs
+}
+
+// RunSpecs executes specs and returns their results in input order. A
+// non-nil error is the input-order-first failure; the other results are
+// still returned.
+func RunSpecs(specs []Spec, jobs int) ([]Result, error) {
+	results, errs := RunSpecsAll(specs, jobs)
 	for i, err := range errs {
 		if err != nil {
 			desc := "invalid spec"
@@ -128,4 +186,41 @@ func RunSpecs(specs []Spec, jobs int) ([]Result, error) {
 		}
 	}
 	return results, nil
+}
+
+// RunSpecsJournaled is RunSpecs with crash-safe resume: cells whose keys
+// appear in loaded are restored (with spec replaced by the caller's
+// canonical copy) instead of simulated, and every fresh success is
+// appended to j before the function returns. Results stay in input
+// order; errs aligns with the input and is nil where the cell succeeded.
+func RunSpecsJournaled(specs []Spec, jobs int, j *Journal, loaded map[string]Result) ([]Result, []error) {
+	results := make([]Result, len(specs))
+	errs := make([]error, len(specs))
+	var todo []Spec
+	var todoIdx []int
+	for i, s := range specs {
+		k := s.key()
+		if res, ok := loaded[k]; ok {
+			delete(loaded, k)
+			res.Spec = s.resolved()
+			if res.Hist == nil {
+				res.Hist = &stats.LinkHourHist{}
+			}
+			results[i] = res
+			continue
+		}
+		todo = append(todo, s)
+		todoIdx = append(todoIdx, i)
+	}
+	fresh, ferrs := RunSpecsAll(todo, jobs)
+	for t, i := range todoIdx {
+		results[i], errs[i] = fresh[t], ferrs[t]
+		if errs[i] != nil || j == nil {
+			continue
+		}
+		if err := j.Append(todo[t].key(), fresh[t]); err != nil {
+			errs[i] = fmt.Errorf("journal: %w", err)
+		}
+	}
+	return results, errs
 }

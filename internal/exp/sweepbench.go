@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"time"
 
+	"memnet/internal/audit"
 	"memnet/internal/core"
 	"memnet/internal/sim"
 	"memnet/internal/topology"
@@ -27,7 +28,13 @@ type SweepBench struct {
 	Events       uint64  `json:"events"`
 	WallSeqSec   float64 `json:"wall_seq_sec"`
 	WallParSec   float64 `json:"wall_par_sec"`
-	EventsPerSec struct {
+	// WallAuditSec is a third sequential pass with the invariant auditor
+	// at its default sampling stride; AuditOverhead is its slowdown
+	// relative to the unaudited sequential pass (0.03 = 3% slower). The
+	// ISSUE budget for the default stride is <5%.
+	WallAuditSec  float64 `json:"wall_audit_sec"`
+	AuditOverhead float64 `json:"audit_overhead"`
+	EventsPerSec  struct {
 		Seq float64 `json:"seq"`
 		Par float64 `json:"par"`
 	} `json:"events_per_sec"`
@@ -38,9 +45,10 @@ type SweepBench struct {
 // String renders the one-line human summary.
 func (b SweepBench) String() string {
 	return fmt.Sprintf(
-		"sweep: %d cells, %d events; -jobs 1: %.2fs (%.1fM ev/s); -jobs %d: %.2fs (%.1fM ev/s); speedup %.2fx (GOMAXPROCS=%d)",
+		"sweep: %d cells, %d events; -jobs 1: %.2fs (%.1fM ev/s); -jobs %d: %.2fs (%.1fM ev/s); speedup %.2fx; audit %+.1f%% (GOMAXPROCS=%d)",
 		b.Cells, b.Events, b.WallSeqSec, b.EventsPerSec.Seq/1e6,
-		b.Jobs, b.WallParSec, b.EventsPerSec.Par/1e6, b.Speedup, b.GOMAXPROCS)
+		b.Jobs, b.WallParSec, b.EventsPerSec.Par/1e6, b.Speedup,
+		b.AuditOverhead*100, b.GOMAXPROCS)
 }
 
 // BenchSweepSpecs builds the standard benchmark sweep: the representative
@@ -90,6 +98,21 @@ func MeasureSweep(specs []Spec, jobs int) (SweepBench, error) {
 	}
 	wallPar := time.Since(start).Seconds()
 
+	// Third pass: sequential again but with the invariant auditor at its
+	// default sampling stride, to price the audit hooks. The auditor is
+	// observational, so every cell must reproduce the unaudited events.
+	audited := make([]Spec, len(specs))
+	for i, s := range specs {
+		s.AuditEvery = audit.DefaultSampleEvery
+		audited[i] = s
+	}
+	start = time.Now()
+	audres, err := RunSpecs(audited, 1)
+	if err != nil {
+		return SweepBench{}, err
+	}
+	wallAudit := time.Since(start).Seconds()
+
 	var b SweepBench
 	b.Cells = len(specs)
 	b.Jobs = jobs
@@ -99,10 +122,18 @@ func MeasureSweep(specs []Spec, jobs int) (SweepBench, error) {
 			return b, fmt.Errorf("exp: cell %d diverged between -jobs 1 and -jobs %d (%d vs %d events)",
 				i, jobs, seq[i].Events, par[i].Events)
 		}
+		if audres[i].Events != seq[i].Events || audres[i].Throughput != seq[i].Throughput {
+			return b, fmt.Errorf("exp: cell %d diverged under -audit (%d vs %d events)",
+				i, seq[i].Events, audres[i].Events)
+		}
 		b.Events += seq[i].Events
 	}
 	b.WallSeqSec = wallSeq
 	b.WallParSec = wallPar
+	b.WallAuditSec = wallAudit
+	if wallSeq > 0 {
+		b.AuditOverhead = wallAudit/wallSeq - 1
+	}
 	if wallSeq > 0 {
 		b.EventsPerSec.Seq = float64(b.Events) / wallSeq
 	}

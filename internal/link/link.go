@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"memnet/internal/audit"
 	"memnet/internal/packet"
 	"memnet/internal/sim"
 )
@@ -149,6 +150,12 @@ type Link struct {
 	errRNG *sim.RNG
 
 	mon *Monitors
+
+	// Runtime invariant auditing (nil = unaudited). The previous-sweep
+	// energy readings back the monotonicity check.
+	audit           *audit.Auditor
+	auditPrevIdle   float64
+	auditPrevActive float64
 }
 
 // New creates a link. The caller wires Deliver before any traffic flows.
@@ -181,6 +188,106 @@ func New(k *sim.Kernel, cfg Config, id int, dir Direction, owner, from, to, dept
 		l.enterIdle(k.Now())
 	}
 	return l
+}
+
+// legalTransition reports whether the ROO/failure state lattice allows
+// from→to: on→off, off→waking, waking→{on, off} (a dropped wakeup falls
+// back and retries), and any live state→failed. A failed link never
+// leaves StateFailed, and a link never jumps off→on without waking.
+func legalTransition(from, to State) bool {
+	if to == StateFailed {
+		return from != StateFailed
+	}
+	switch from {
+	case StateOn:
+		return to == StateOff
+	case StateOff:
+		return to == StateWaking
+	case StateWaking:
+		return to == StateOn || to == StateOff
+	}
+	return false
+}
+
+// setState is the single mutation point of the link's power-state
+// machine. With an auditor attached every transition is validated against
+// the legal lattice before it is applied; the state still changes so a
+// buggy caller's behavior (not a cascade of secondary effects) is what
+// the violation reports.
+func (l *Link) setState(to State) {
+	if l.audit != nil && !legalTransition(l.state, to) {
+		l.audit.Reportf(l.component(), "state-lattice",
+			"illegal transition %s -> %s (forced=%v q=%d transmitting=%v)",
+			l.state, to, l.forcedFull, len(l.queue), l.transmitting)
+	}
+	l.state = to
+}
+
+// component names the link in audit violations.
+func (l *Link) component() string { return fmt.Sprintf("link[%d]", l.ID) }
+
+// energyHeadroom is the audit tolerance on the full-power energy bound:
+// control-flit charges (ISP/AMS messages) add energy on top of the
+// time-integral, and the paper budgets them as ~1% traffic.
+const energyHeadroom = 1.02
+
+// AttachAudit wires the runtime invariant auditor: state transitions are
+// validated against the ROO lattice as they happen, enqueues are
+// sample-checked, and a registered sweep bounds the buffer, the mode
+// indices, and the energy accounting. Purely observational — an audited
+// link schedules the same events and accumulates the same state as an
+// unaudited one.
+func (l *Link) AttachAudit(a *audit.Auditor) {
+	l.audit = a
+	l.auditPrevIdle, l.auditPrevActive = l.energyIdle, l.energyActive
+	a.RegisterSweep(l.auditSweep)
+}
+
+// auditEnqueue is the sampled per-packet check: traffic direction must
+// match the link's direction (request links carry downstream kinds).
+func (l *Link) auditEnqueue(p *packet.Packet) {
+	if p.Kind.Downstream() != (l.Dir == DirRequest) {
+		l.audit.Reportf(l.component(), "direction-kind",
+			"%v packet %d queued on %s link %d->%d", p.Kind, p.ID, l.Dir, l.From, l.To)
+	}
+}
+
+// auditSweep is the registered whole-link invariant walk: buffer bounds
+// honored or accounted, mode indices in range, energy non-negative,
+// monotone since the previous sweep, and bounded by full power × elapsed
+// time (stale-read safe: energies integrate only to lastAccount ≤ now).
+func (l *Link) auditSweep(now sim.Time, report func(component, rule, detail string)) {
+	c := l.component()
+	if len(l.queue) > BufferEntries && l.overflows == 0 {
+		report(c, "buffer-bound", fmt.Sprintf(
+			"%d packets queued past the %d-entry buffer with no overflow accounted", len(l.queue), BufferEntries))
+	}
+	if l.maxQueue < len(l.queue) {
+		report(c, "buffer-bound", fmt.Sprintf("high-water mark %d below live depth %d", l.maxQueue, len(l.queue)))
+	}
+	if nm := NumModes(l.cfg.Mechanism); l.bwMode < 0 || l.bwMode >= nm || l.bwTarget < 0 || l.bwTarget >= nm {
+		report(c, "bw-mode-range", fmt.Sprintf("mode=%d target=%d outside [0,%d) for %s", l.bwMode, l.bwTarget, nm, l.cfg.Mechanism))
+	}
+	if l.rooMode < 0 || l.rooMode >= NumROOModes {
+		report(c, "roo-mode-range", fmt.Sprintf("roo mode %d outside [0,%d)", l.rooMode, NumROOModes))
+	}
+	if l.state < StateOn || l.state > StateFailed {
+		report(c, "state-range", fmt.Sprintf("state %d is not a lattice state", l.state))
+	}
+	if l.energyIdle < 0 || l.energyActive < 0 {
+		report(c, "energy-sign", fmt.Sprintf("idle=%g active=%g J", l.energyIdle, l.energyActive))
+	}
+	if l.energyIdle < l.auditPrevIdle || l.energyActive < l.auditPrevActive {
+		report(c, "energy-monotone", fmt.Sprintf("idle %g->%g active %g->%g J",
+			l.auditPrevIdle, l.energyIdle, l.auditPrevActive, l.energyActive))
+	}
+	l.auditPrevIdle, l.auditPrevActive = l.energyIdle, l.energyActive
+	if tot, bound := l.energyIdle+l.energyActive, l.cfg.FullWatts*now.Seconds()*energyHeadroom; tot > bound {
+		report(c, "energy-bound", fmt.Sprintf("%g J exceeds full-power bound %g J at %s", tot, bound, now))
+	}
+	if l.totalBusy > now {
+		report(c, "busy-bound", fmt.Sprintf("busy time %s exceeds elapsed %s", l.totalBusy, now))
+	}
 }
 
 // corrupted decides whether a just-serialized packet failed its CRC.
@@ -263,7 +370,7 @@ func (l *Link) Fail() []*packet.Packet {
 		l.mon.observeIdleEnd(now - l.idleSince)
 		l.idleOpen = false
 	}
-	l.state = StateFailed
+	l.setState(StateFailed)
 	l.transmitting = false
 	l.offSeq++ // cancel pending off-checks
 	var stranded []*packet.Packet
@@ -422,6 +529,9 @@ func (l *Link) Enqueue(p *packet.Packet) {
 	if len(l.queue) > BufferEntries {
 		l.overflows++
 	}
+	if l.audit.Sample() {
+		l.auditEnqueue(p)
+	}
 
 	switch l.state {
 	case StateOff:
@@ -512,7 +622,7 @@ func (l *Link) armOffCheck(now sim.Time, after sim.Duration) {
 		}
 		t := l.kernel.Now()
 		l.account(t)
-		l.state = StateOff
+		l.setState(StateOff)
 		if l.OnTurnOff != nil {
 			l.OnTurnOff()
 		}
@@ -534,7 +644,7 @@ func (l *Link) MaybeTurnOff() {
 		return
 	}
 	l.account(now)
-	l.state = StateOff
+	l.setState(StateOff)
 	if l.OnTurnOff != nil {
 		l.OnTurnOff()
 	}
@@ -550,7 +660,7 @@ func (l *Link) startWake() {
 	}
 	now := l.kernel.Now()
 	l.account(now)
-	l.state = StateWaking
+	l.setState(StateWaking)
 	wakeup := l.cfg.Wakeup
 	if l.wakeExtra > 0 {
 		wakeup += l.wakeExtra
@@ -573,11 +683,11 @@ func (l *Link) startWake() {
 		l.account(t)
 		if drop {
 			// Resynchronization failed; retry the whole wakeup.
-			l.state = StateOff
+			l.setState(StateOff)
 			l.startWake()
 			return
 		}
-		l.state = StateOn
+		l.setState(StateOn)
 		l.mon.epoch.Wakeups++
 		if len(l.queue) > 0 {
 			l.tryTransmit()

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"memnet/internal/audit"
 	"memnet/internal/dram"
 	"memnet/internal/link"
 	"memnet/internal/packet"
@@ -121,6 +122,12 @@ type Network struct {
 	failLatSum   sim.Duration // issue-to-error latency of failed reads
 	faultLog     []error
 	faultCount   uint64
+
+	// Runtime invariant auditing (nil = unaudited).
+	aud           *audit.Auditor
+	minReadLat    sim.Duration
+	auditPrevInj  uint64
+	auditPrevTerm uint64
 }
 
 // maxFaultLog bounds the retained fault diagnostics; the count keeps
@@ -179,6 +186,77 @@ func New(k *sim.Kernel, topo *topology.Topology, cfg Config) *Network {
 	}
 	return n
 }
+
+// AttachAudit wires the runtime invariant auditor through the whole
+// network: every link's state machine, buffer and energy accounting,
+// every module's DRAM vault queues, read-latency and hop sanity at
+// completion, and a registered conservation sweep over the injection/
+// terminal counters. The auditor is purely observational — it schedules
+// no events and mutates no simulation state, so audited and unaudited
+// runs produce bit-identical results.
+func (n *Network) AttachAudit(a *audit.Auditor) {
+	n.aud = a
+	// The latency floor is conservative across page policies: even an
+	// open-page row hit pays tCL plus the data burst, and the network adds
+	// serialization on top.
+	n.minReadLat = n.Cfg.DRAM.TCL + n.Cfg.DRAM.BurstTime()
+	for _, l := range n.Links {
+		l.AttachAudit(a)
+	}
+	for i, m := range n.Modules {
+		m.DRAM.AttachAudit(a, i)
+	}
+	a.RegisterSweep(n.auditSweep)
+}
+
+// auditRead is the sampled completion check: end-to-end latency above the
+// physical floor, and the round trip exactly twice the serving module's
+// depth (responses retrace the request path).
+func (n *Network) auditRead(p *packet.Packet, lat sim.Duration) {
+	if lat < n.minReadLat {
+		n.aud.Reportf("network", "read-latency-floor",
+			"read %d (module %d) completed in %s, floor %s", p.ID, p.Src, lat, n.minReadLat)
+	}
+	if want := 2 * n.Topo.Depth(p.Src); p.Hops != want {
+		n.aud.Reportf("network", "read-hops",
+			"read %d served by module %d took %d hops, want %d", p.ID, p.Src, p.Hops, want)
+	}
+}
+
+// auditSweep checks request conservation: terminal outcomes never exceed
+// injections (in-flight ≥ 0) and both families of counters are monotone.
+func (n *Network) auditSweep(now sim.Time, report func(component, rule, detail string)) {
+	inj := n.injReads + n.injWrites
+	term := n.readsDone + n.readsFailed + n.lostReads +
+		n.writesDone + n.writesFailed + n.lostWrites
+	if term > inj {
+		report("network", "conservation", fmt.Sprintf(
+			"terminal outcomes %d exceed injected %d (reads %d done/%d failed/%d lost, writes %d/%d/%d)",
+			term, inj, n.readsDone, n.readsFailed, n.lostReads, n.writesDone, n.writesFailed, n.lostWrites))
+	}
+	if inj < n.auditPrevInj || term < n.auditPrevTerm {
+		report("network", "counter-monotone", fmt.Sprintf(
+			"injected %d->%d terminal %d->%d", n.auditPrevInj, inj, n.auditPrevTerm, term))
+	}
+	n.auditPrevInj, n.auditPrevTerm = inj, term
+}
+
+// CheckQuiesced verifies the drained-network half of the conservation
+// invariant: once the event queue is empty (and issuers have timed out or
+// completed), every injected request must have a terminal outcome — data,
+// error response, or accounted loss. A live network legitimately has
+// in-flight requests, so this is a quiesce-time check, not a sweep.
+func (n *Network) CheckQuiesced() error {
+	if out := n.Outstanding(); out != 0 {
+		return fmt.Errorf("network: %d requests still in flight at quiesce (injected %d reads + %d writes)",
+			out, n.injReads, n.injWrites)
+	}
+	return nil
+}
+
+// Injected returns the cumulative injected read and write requests (the
+// audit layer's cross-check against the issuing front end).
+func (n *Network) Injected() (reads, writes uint64) { return n.injReads, n.injWrites }
 
 // nextID allocates a packet ID.
 func (n *Network) nextID() uint64 {
@@ -422,6 +500,9 @@ func (n *Network) completeRead(p *packet.Packet) {
 	lat := n.Kernel.Now() - p.Issued
 	n.readLatSum += lat
 	n.latHist.Add(lat)
+	if n.aud.Sample() {
+		n.auditRead(p, lat)
+	}
 	if n.OnReadComplete != nil {
 		n.OnReadComplete(p)
 	}

@@ -10,7 +10,10 @@
 // I/O power is identical for both classes.
 package power
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Model constants from [12] / §III-B.
 const (
@@ -115,6 +118,26 @@ func (b Breakdown) Scale(f float64) Breakdown {
 		DRAMLeak:  b.DRAMLeak * f,
 		DRAMDyn:   b.DRAMDyn * f,
 	}
+}
+
+// Check validates the breakdown as physical: every component must be a
+// finite, non-negative energy/power value. The runtime invariant auditor
+// applies it to measured intervals; a failure means the accounting — not
+// the policy under study — produced the numbers.
+func (b Breakdown) Check() error {
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"idleIO", b.IdleIO}, {"activeIO", b.ActiveIO},
+		{"logicLeak", b.LogicLeak}, {"logicDyn", b.LogicDyn},
+		{"dramLeak", b.DRAMLeak}, {"dramDyn", b.DRAMDyn},
+	} {
+		if math.IsNaN(c.v) || math.IsInf(c.v, 0) || c.v < 0 {
+			return fmt.Errorf("power: %s component %g is not physical", c.name, c.v)
+		}
+	}
+	return nil
 }
 
 // String formats the breakdown compactly (useful in reports and tests).

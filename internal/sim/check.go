@@ -1,0 +1,23 @@
+package sim
+
+import "fmt"
+
+// CheckInvariants verifies the event queue's structural invariants: the
+// d-ary heap ordering over (at, seq) and that no pending event precedes
+// the current time. It is O(pending) and read-only — meant for the audit
+// layer's periodic sweeps, not the hot loop. A violation here means the
+// queue has been corrupted and every later event could run out of order.
+func (k *Kernel) CheckInvariants() error {
+	n := len(k.events)
+	if n > 0 && k.events[0].at < k.now {
+		return fmt.Errorf("sim: head event at %s precedes now %s", k.events[0].at, k.now)
+	}
+	for i := 1; i < n; i++ {
+		p := (i - 1) / heapArity
+		if k.before(i, p) {
+			return fmt.Errorf("sim: heap order violated at index %d (at=%s seq=%d) vs parent %d (at=%s seq=%d)",
+				i, k.events[i].at, k.events[i].seq, p, k.events[p].at, k.events[p].seq)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckInvariantsCleanQueue(t *testing.T) {
+	k := NewKernel()
+	for i := 20; i > 0; i-- {
+		k.Schedule(Time(i)*Microsecond, func() {})
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatalf("clean queue: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		k.Step()
+		if err := k.CheckInvariants(); err != nil {
+			t.Fatalf("after %d steps: %v", i+1, err)
+		}
+	}
+}
+
+func TestCheckInvariantsDetectsHeapCorruption(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 16; i++ {
+		k.Schedule(Time(i)*Microsecond, func() {})
+	}
+	// Corrupt the heap the way a buggy sift would: a child earlier than
+	// its parent.
+	k.events[0].at, k.events[5].at = k.events[5].at, k.events[0].at
+	err := k.CheckInvariants()
+	if err == nil || !strings.Contains(err.Error(), "heap order") {
+		t.Fatalf("corrupted heap not detected: %v", err)
+	}
+}
+
+func TestCheckInvariantsDetectsStaleHead(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(5*Microsecond, func() {})
+	k.now = 10 * Microsecond // simulate clock corruption
+	err := k.CheckInvariants()
+	if err == nil || !strings.Contains(err.Error(), "precedes now") {
+		t.Fatalf("stale head not detected: %v", err)
+	}
+}
