@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench
+.PHONY: all check vet build test race bench soak
 
 all: check
 
@@ -22,6 +22,13 @@ test:
 # worker pool and are the main thing the detector is here to watch.
 race:
 	$(GO) test -race ./...
+
+# soak runs the deterministic chaos campaign under the race detector:
+# seeded random fail/burst/wake-fault/stall + repair schedules across all
+# four topologies, full-rate audited, with byte-identical replays
+# required per seed. Widen the campaign with MEMNET_SOAK_SEEDS=1,2,...,N.
+soak:
+	$(GO) test -race -count=1 -run TestChaosSoak ./internal/fault/
 
 # bench regenerates the paper-shaped testing.B benchmarks and writes the
 # machine-readable sweep-executor record (events/sec, wall time, speedup)

@@ -41,6 +41,8 @@ func main() {
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0),
 		"parallel simulation workers per experiment (1 = sequential; output is identical either way)")
 	faultsFile := flag.String("faults", "", "JSON fault scenario applied to every cell of the sweep")
+	retrainF := flag.String("retrain", "", "link retraining latency for repair/escalation, e.g. 1us (empty = model default)")
+	crcRetries := flag.Int("crcretries", 0, "consecutive CRC retries per packet before escalation (0 = model default)")
 	auditEvery := flag.Int("audit", audit.DefaultSampleEvery,
 		"invariant auditor sampling stride (1 = check every observation, 0 = disable)")
 	journalPath := flag.String("journal", "",
@@ -85,6 +87,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bad -audit: stride must be >= 0 (0 disables), got %d\n", *auditEvery)
 		os.Exit(1)
 	}
+	if *crcRetries < 0 {
+		fmt.Fprintf(os.Stderr, "bad -crcretries: must be non-negative (0 = model default), got %d\n", *crcRetries)
+		os.Exit(1)
+	}
+	if *retrainF != "" {
+		if r.Retrain, err = parseDuration(*retrainF); err != nil {
+			fmt.Fprintf(os.Stderr, "bad -retrain: %v\n", err)
+			os.Exit(1)
+		}
+		if r.Retrain <= 0 {
+			fmt.Fprintf(os.Stderr, "bad -retrain: must be positive, got %s\n", *retrainF)
+			os.Exit(1)
+		}
+	}
+	r.CRCRetries = *crcRetries
 	if *verbose {
 		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}

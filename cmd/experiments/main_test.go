@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles this command once into a temp dir so the validation
+// cases below exercise the real flag-parsing path end to end.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "experiments")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestRecoveryFlagValidation: malformed recovery flags must be rejected
+// before any cell runs, each naming the offending flag; a valid
+// combination must still generate output (a static table keeps it cheap).
+func TestRecoveryFlagValidation(t *testing.T) {
+	bin := buildCLI(t)
+	for name, args := range map[string][]string{
+		"negative crcretries": {"-run", "tableI", "-crcretries", "-1"},
+		"unparseable retrain": {"-run", "tableI", "-retrain", "bogus"},
+		"zero retrain":        {"-run", "tableI", "-retrain", "0s"},
+		"negative retrain":    {"-run", "tableI", "-retrain", "-1us"},
+	} {
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err == nil {
+			t.Errorf("%s: accepted\n%s", name, out)
+			continue
+		}
+		if !strings.Contains(string(out), "bad -") {
+			t.Errorf("%s: error does not name the flag:\n%s", name, out)
+		}
+	}
+
+	out, err := exec.Command(bin, "-run", "tableI", "-retrain", "1us", "-crcretries", "4").CombinedOutput()
+	if err != nil {
+		t.Fatalf("valid recovery flags rejected: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Table I") {
+		t.Fatalf("run with recovery flags produced no table:\n%s", out)
+	}
+}

@@ -41,6 +41,8 @@ func main() {
 	faultsFile := flag.String("faults", "", "JSON fault scenario file (see EXPERIMENTS.md)")
 	timeoutF := flag.String("timeout", "", "per-request timeout, e.g. 2us (empty = wait forever)")
 	retries := flag.Int("retries", 2, "timeout-driven read retries (with -timeout)")
+	retrainF := flag.String("retrain", "", "link retraining latency for repair/escalation, e.g. 1us (empty = model default)")
+	crcRetries := flag.Int("crcretries", 0, "consecutive CRC retries per packet before escalation (0 = model default)")
 	watchdog := flag.Bool("watchdog", false, "arm the no-progress watchdog")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0),
 		"parallel workers for -config batches and -sweepbench (1 = legacy sequential)")
@@ -61,6 +63,20 @@ func main() {
 	if *retries < 0 {
 		log.Fatalf("bad -retries: must be non-negative, got %d", *retries)
 	}
+	if *crcRetries < 0 {
+		log.Fatalf("bad -crcretries: must be non-negative (0 = model default), got %d", *crcRetries)
+	}
+	var retrainDur sim.Duration
+	if *retrainF != "" {
+		rt, err := time.ParseDuration(*retrainF)
+		if err != nil {
+			log.Fatalf("bad -retrain: %v", err)
+		}
+		if rt <= 0 {
+			log.Fatalf("bad -retrain: must be positive, got %s", *retrainF)
+		}
+		retrainDur = sim.Duration(rt.Nanoseconds()) * sim.Nanosecond
+	}
 	if *wakeup <= 0 {
 		log.Fatalf("bad -wakeup: must be a positive nanosecond count, got %d", *wakeup)
 	}
@@ -73,7 +89,7 @@ func main() {
 		return
 	}
 	if *config != "" {
-		runBatch(*config, *jobs, *auditEvery, *journalPath)
+		runBatch(*config, *jobs, *auditEvery, *journalPath, retrainDur, *crcRetries)
 		return
 	}
 
@@ -149,6 +165,8 @@ func main() {
 		spec.RequestTimeout = sim.Duration(to.Nanoseconds()) * sim.Nanosecond
 		spec.MaxRetries = *retries
 	}
+	spec.RetrainLatency = retrainDur
+	spec.CRCRetryLimit = *crcRetries
 
 	if *trace {
 		runTrace(spec)
@@ -168,7 +186,7 @@ func main() {
 // run (audit violation, stall, recovered panic) is reported in place and
 // flips the exit status without aborting the remaining runs; with
 // -journal, completed runs are restored on restart instead of re-run.
-func runBatch(path string, jobs, auditEvery int, journalPath string) {
+func runBatch(path string, jobs, auditEvery int, journalPath string, retrain sim.Duration, crcRetries int) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -185,6 +203,12 @@ func runBatch(path string, jobs, auditEvery int, journalPath string) {
 			} else {
 				specs[i].AuditEvery = -1
 			}
+		}
+		if specs[i].RetrainLatency <= 0 {
+			specs[i].RetrainLatency = retrain
+		}
+		if specs[i].CRCRetryLimit <= 0 {
+			specs[i].CRCRetryLimit = crcRetries
 		}
 	}
 	var j *exp.Journal
@@ -252,8 +276,9 @@ func report(res exp.Result, wall time.Duration) {
 	fmt.Printf("  violations:    %d (%d absorbed by AMS grants)\n", res.Violations, res.Granted)
 	if res.FaultsInjected.Total() > 0 || res.Faults.Dropped > 0 || res.FrontEndFaults.ReadTimeouts > 0 {
 		fi := res.FaultsInjected
-		fmt.Printf("  faults:        injected %d (link-fail=%d module-fail=%d corrupt=%d wake=%d stall=%d)\n",
-			fi.Total(), fi.LinkFails, fi.ModuleFails, fi.CorruptBursts, fi.WakeFaults, fi.VaultStalls)
+		fmt.Printf("  faults:        injected %d (link-fail=%d module-fail=%d corrupt=%d wake=%d stall=%d repair=%d)\n",
+			fi.Total(), fi.LinkFails, fi.ModuleFails, fi.CorruptBursts, fi.WakeFaults, fi.VaultStalls,
+			fi.LinkRepairs+fi.ModuleRepairs)
 		fmt.Printf("  degradation:   %d reads + %d writes completed as errors, %d lost, %d dropped, %d routing errors, %d failed links\n",
 			res.Faults.ReadsFailed, res.Faults.WritesFailed,
 			res.Faults.LostReads+res.Faults.LostWrites, res.Faults.Dropped,
@@ -261,6 +286,16 @@ func report(res exp.Result, wall time.Duration) {
 		fe := res.FrontEndFaults
 		fmt.Printf("  timeouts:      %d read deadlines (%d retried, %d abandoned), %d write credits reclaimed, %d late responses\n",
 			fe.ReadTimeouts, fe.Retries, fe.Abandoned, fe.WriteTimeouts, fe.LateResponses)
+	}
+	esc := res.Faults.Escalations
+	if res.Faults.RepairedLinks > 0 || res.Availability.Outages > 0 ||
+		res.Availability.OpenOutages > 0 || esc.Degrades+esc.Retrains+esc.HardFails > 0 {
+		a := res.Availability
+		fmt.Printf("  recovery:      %d links repaired, escalations degrade=%d retrain=%d hard-fail=%d, %d reads recovered\n",
+			res.Faults.RepairedLinks, esc.Degrades, esc.Retrains, esc.HardFails,
+			res.FrontEndFaults.RecoveredReads)
+		fmt.Printf("  availability:  %.6f (%d outages, %d open, MTTR %s, downtime %s)\n",
+			a.Availability, a.Outages, a.OpenOutages, a.MTTR, a.Downtime)
 	}
 	if wall > 0 {
 		fmt.Printf("  simulated %s in %.2fs wall (%.1fM events)\n",

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles this command once into a temp dir so the validation
+// cases below exercise the real flag-parsing path end to end.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "memnetsim")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestRecoveryFlagValidation: malformed recovery flags must be rejected
+// before any simulation starts, each naming the offending flag; a valid
+// combination must run to completion.
+func TestRecoveryFlagValidation(t *testing.T) {
+	bin := buildCLI(t)
+	for name, args := range map[string][]string{
+		"negative crcretries": {"-crcretries", "-1"},
+		"unparseable retrain": {"-retrain", "bogus"},
+		"zero retrain":        {"-retrain", "0s"},
+		"negative retrain":    {"-retrain", "-1us"},
+	} {
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err == nil {
+			t.Errorf("%s: accepted\n%s", name, out)
+			continue
+		}
+		if !strings.Contains(string(out), "bad -") {
+			t.Errorf("%s: error does not name the flag:\n%s", name, out)
+		}
+	}
+
+	out, err := exec.Command(bin, "-retrain", "1us", "-crcretries", "4",
+		"-simtime", "5us", "-warmup", "1us").CombinedOutput()
+	if err != nil {
+		t.Fatalf("valid recovery flags rejected: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "power/HMC") {
+		t.Fatalf("run with recovery flags produced no report:\n%s", out)
+	}
+}

@@ -209,6 +209,15 @@ func (d *HMCDRAM) Stall(dur sim.Duration) {
 	}
 }
 
+// ClearStall ends any active injected stall window immediately — the
+// repair path's module-recovery hook. Accesses already scheduled past
+// the old window keep their start times; only future arrivals benefit.
+func (d *HMCDRAM) ClearStall() {
+	if now := d.kernel.Now(); d.stallUntil > now {
+		d.stallUntil = now
+	}
+}
+
 // New builds the DRAM stack. It panics on invalid configuration: a config
 // is construction-time input, not runtime data.
 func New(k *sim.Kernel, cfg Config) *HMCDRAM {

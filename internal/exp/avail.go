@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"fmt"
+
+	"memnet/internal/core"
+	"memnet/internal/fault"
+	"memnet/internal/sim"
+	"memnet/internal/topology"
+)
+
+// Availability-sweep schedule: module 1 dies at 120 µs and is repaired at
+// 160 µs, inside even the reduced horizons tests run with. Module 1 is
+// the interesting victim — its subtree size differs radically across the
+// four topologies (the whole chain suffix on a daisy chain, a single leaf
+// on the DDRx-like tree), which is exactly what the sweep contrasts. A
+// later vault stall on module 0, longer than the request timeout, drives
+// the other recovery path: reads time out, retry, and come back with
+// data once the stall clears (RecoveredReads).
+var (
+	availKillAt   = 120 * sim.Microsecond
+	availRepairAt = 160 * sim.Microsecond
+	availStallAt  = 180 * sim.Microsecond
+	availStallFor = 10 * sim.Microsecond
+)
+
+// availScenario is the kill → repair (plus stall → drain) cycle the
+// sweep applies per cell.
+func availScenario() fault.Scenario {
+	return fault.Scenario{Events: []fault.Event{
+		{At: fault.Duration(availKillAt), Kind: fault.ModuleFail, Module: 1},
+		{At: fault.Duration(availRepairAt), Kind: fault.ModuleRepair, Module: 1},
+		{At: fault.Duration(availStallAt), Kind: fault.VaultStall, Module: 0, Duration: fault.Duration(availStallFor)},
+	}}
+}
+
+// Avail is the availability/MTTR sweep: one module-1 kill → repair cycle
+// per topology with timeouts and bounded retry armed, reporting the
+// outage window (MTTR, availability) and the requests the recovery path
+// saved versus lost. The daisy chain loses the longest module suffix to
+// the cut, the DDRx-like tree only the leaf itself, so availability
+// orders daisychain < ternary/star < ddrx-like for the same MTTR.
+func Avail(r *Runner) string {
+	wl := r.profiles()[0]
+	t := NewTable(
+		fmt.Sprintf("Availability: module-1 outage %s -> %s (%s)", availKillAt, availRepairAt, wl.Name),
+		"topology", "modules", "MTTR", "availability", "outages", "recovered", "abandoned", "error reads")
+	for _, topo := range topology.Kinds {
+		spec := Spec{
+			Workload:       wl,
+			Topology:       topo,
+			Size:           Small,
+			Mech:           MechVWLROO,
+			Policy:         core.PolicyAware,
+			Alpha:          0.05,
+			Faults:         availScenario(),
+			RequestTimeout: 2 * sim.Microsecond,
+			MaxRetries:     4,
+		}
+		res := r.Run(spec)
+		a := res.Availability
+		fef := res.FrontEndFaults
+		t.Row(topo.String(),
+			fmt.Sprintf("%d", res.Modules),
+			a.MTTR.String(),
+			fmt.Sprintf("%.6f", a.Availability),
+			fmt.Sprintf("%d", a.Outages),
+			fmt.Sprintf("%d", fef.RecoveredReads),
+			fmt.Sprintf("%d", fef.Abandoned),
+			fmt.Sprintf("%d", fef.ErrorReads))
+	}
+	return t.String()
+}

@@ -104,6 +104,12 @@ type Spec struct {
 	// Zero leaves the legacy wait-forever behavior untouched.
 	RequestTimeout sim.Duration
 	MaxRetries     int
+	// RetrainLatency overrides every link's lane-training latency for the
+	// repair/escalation path (0 = link.RetrainDefault); CRCRetryLimit
+	// bounds consecutive CRC retries per packet before a link escalates
+	// (0 = link.DefaultMaxCRCRetries).
+	RetrainLatency sim.Duration
+	CRCRetryLimit  int
 	// Watchdog arms the no-progress detector; a detected stall fails the
 	// run with the diagnostic dump instead of hanging or silently
 	// finishing short.
@@ -129,6 +135,11 @@ func (s Spec) key() string {
 	if len(s.Faults.Events) > 0 || s.RequestTimeout > 0 || s.Watchdog {
 		k += fmt.Sprintf("|f=%s|t=%d|r=%d|w=%v",
 			s.Faults.Key(), s.RequestTimeout, s.MaxRetries, s.Watchdog)
+	}
+	// Recovery knobs append their own block so fault-free keys are
+	// unchanged from previous releases (journal compatibility).
+	if s.RetrainLatency > 0 || s.CRCRetryLimit > 0 {
+		k += fmt.Sprintf("|rt=%d|crc=%d", s.RetrainLatency, s.CRCRetryLimit)
 	}
 	return k
 }
@@ -196,6 +207,9 @@ type Result struct {
 	Faults         network.FaultStats
 	FrontEndFaults workload.FrontEndFaultStats
 	FaultsInjected fault.Counts
+	// Availability summarizes per-module up/down accounting over the whole
+	// run (Availability == 1 with no outages on healthy runs).
+	Availability stats.AvailabilityReport
 	// TimedOutIDs lists every read attempt that hit its deadline, in
 	// expiry order (the determinism fixture for fault runs).
 	TimedOutIDs []uint64
@@ -241,6 +255,8 @@ func Run(spec Spec) (Result, error) {
 	netCfg.Wakeup = spec.Wakeup
 	netCfg.ChunkBytes = uint64(spec.Size.ChunkGB()) << 30
 	netCfg.Interleave = spec.Interleave
+	netCfg.Retrain = spec.RetrainLatency
+	netCfg.MaxCRCRetries = spec.CRCRetryLimit
 	net := network.New(kernel, topo, netCfg)
 
 	mcfg := core.DefaultConfig(spec.Policy, spec.Alpha)
@@ -337,6 +353,7 @@ func Run(spec Spec) (Result, error) {
 	res.Violations, res.Granted = mgr.Violations()
 	res.Faults = net.FaultStats()
 	res.FrontEndFaults = fe.FaultStats()
+	res.Availability = net.AvailabilityReport()
 	res.TimedOutIDs = append([]uint64(nil), fe.TimedOutIDs()...)
 	if inj != nil {
 		res.FaultsInjected = inj.Counts()
@@ -382,6 +399,10 @@ type Runner struct {
 	// does not carry its own — the whole figure sweep re-run under fault
 	// injection.
 	Faults fault.Scenario
+	// Retrain and CRCRetries apply the recovery knobs (lane-training
+	// latency, CRC retry cap) to every spec that does not carry its own.
+	Retrain    sim.Duration
+	CRCRetries int
 	// Workloads restricts figure sweeps to a subset (nil = all 14 paper
 	// workloads). Tests use it to exercise the generators cheaply.
 	Workloads []*workload.Profile
@@ -435,6 +456,12 @@ func (r *Runner) normalize(spec Spec) Spec {
 	}
 	if len(spec.Faults.Events) == 0 && len(r.Faults.Events) > 0 {
 		spec.Faults = r.Faults
+	}
+	if spec.RetrainLatency <= 0 && r.Retrain > 0 {
+		spec.RetrainLatency = r.Retrain
+	}
+	if spec.CRCRetryLimit <= 0 && r.CRCRetries > 0 {
+		spec.CRCRetryLimit = r.CRCRetries
 	}
 	if spec.AuditEvery == 0 {
 		switch {

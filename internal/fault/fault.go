@@ -1,8 +1,9 @@
 // Package fault is the deterministic fault-injection subsystem: it turns
 // a scenario specification (JSON or programmatic) into scheduled fault
-// events against a live network — permanent link failures, transient
-// corruption bursts driving the CRC/retry path, delayed or lost ROO
-// wakeups, and vault stalls. All randomness (picking targets with
+// events against a live network — link and module failures and their
+// repairs (retraining links back into service), transient corruption
+// bursts driving the CRC/retry path, delayed or lost ROO wakeups, and
+// vault stalls. All randomness (picking targets with
 // Link/Module = -1) comes from the scenario's seed through the
 // simulator's own RNG, so the same seed and scenario always produce the
 // same faults, event counts, and energy totals.
@@ -65,6 +66,13 @@ const (
 	// VaultStall blocks a module's DRAM from starting accesses for
 	// Duration (thermal/maintenance stall model).
 	VaultStall Kind = "vault-stall"
+	// LinkRepair begins recovery of a failed link: it retrains (full I/O
+	// power, no traffic) and rejoins the network once training completes,
+	// re-admitting its subtree to routing. A no-op on a live link.
+	LinkRepair Kind = "link-repair"
+	// ModuleRepair repairs both connectivity links of a module and clears
+	// any injected vault stall.
+	ModuleRepair Kind = "module-repair"
 )
 
 // Event is one scheduled fault.
@@ -133,11 +141,14 @@ type Counts struct {
 	CorruptBursts int
 	WakeFaults    int
 	VaultStalls   int
+	LinkRepairs   int
+	ModuleRepairs int
 }
 
 // Total sums all applied faults.
 func (c Counts) Total() int {
-	return c.LinkFails + c.ModuleFails + c.CorruptBursts + c.WakeFaults + c.VaultStalls
+	return c.LinkFails + c.ModuleFails + c.CorruptBursts + c.WakeFaults + c.VaultStalls +
+		c.LinkRepairs + c.ModuleRepairs
 }
 
 // Injector schedules a scenario's faults against one network.
@@ -146,13 +157,16 @@ type Injector struct {
 	rng    *sim.RNG
 	counts Counts
 	log    []string
+	// burstGen guards corrupt-burst expiry per link: an expiring burst
+	// only clears the BER if no newer burst has started on that link.
+	burstGen map[int]uint64
 }
 
 // Attach validates sc against net and pre-schedules every event on the
 // network's kernel. Target selection for random events happens here, in
 // event order, so it is a pure function of the scenario seed.
 func Attach(net *network.Network, sc Scenario) (*Injector, error) {
-	inj := &Injector{net: net, rng: sim.NewRNG(sc.Seed ^ 0xfa017)}
+	inj := &Injector{net: net, rng: sim.NewRNG(sc.Seed ^ 0xfa017), burstGen: make(map[int]uint64)}
 	events := make([]Event, len(sc.Events))
 	copy(events, sc.Events)
 	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
@@ -194,9 +208,9 @@ func (inj *Injector) resolve(ev *Event) error {
 		return nil
 	}
 	switch ev.Kind {
-	case LinkFail:
+	case LinkFail, LinkRepair:
 		return pickLink()
-	case ModuleFail:
+	case ModuleFail, ModuleRepair:
 		return pickModule()
 	case CorruptBurst:
 		if ev.BER <= 0 || ev.BER > 1 {
@@ -238,7 +252,15 @@ func (inj *Injector) apply(ev Event) {
 		inj.logf("%s corrupt-burst link=%d ber=%g for %s", now, ev.Link, ev.BER, sim.Duration(ev.Duration))
 		l := inj.net.Links[ev.Link]
 		l.SetBER(ev.BER)
-		inj.net.Kernel.After(sim.Duration(ev.Duration), func() { l.SetBER(0) })
+		// Generation-guard the expiry: if a newer burst starts on this
+		// link before this one ends, the stale expiry must not clear it.
+		inj.burstGen[ev.Link]++
+		gen := inj.burstGen[ev.Link]
+		inj.net.Kernel.After(sim.Duration(ev.Duration), func() {
+			if inj.burstGen[ev.Link] == gen {
+				l.SetBER(0)
+			}
+		})
 	case WakeFault:
 		inj.counts.WakeFaults++
 		inj.logf("%s wake-fault link=%d delay=%s drop=%v", now, ev.Link, sim.Duration(ev.Duration), ev.Drop)
@@ -247,6 +269,14 @@ func (inj *Injector) apply(ev Event) {
 		inj.counts.VaultStalls++
 		inj.logf("%s vault-stall module=%d for %s", now, ev.Module, sim.Duration(ev.Duration))
 		inj.net.Modules[ev.Module].DRAM.Stall(sim.Duration(ev.Duration))
+	case LinkRepair:
+		inj.counts.LinkRepairs++
+		inj.logf("%s link-repair link=%d", now, ev.Link)
+		inj.net.RepairLink(ev.Link)
+	case ModuleRepair:
+		inj.counts.ModuleRepairs++
+		inj.logf("%s module-repair module=%d", now, ev.Module)
+		inj.net.RepairModule(ev.Module)
 	}
 }
 

@@ -215,6 +215,48 @@ func TestRandomTargetsAreSeedDeterministic(t *testing.T) {
 	}
 }
 
+// TestOverlappingBurstsKeepLatestBER is the burst-overlap regression: a
+// second corrupt-burst that starts while an earlier one is still active
+// takes over the link, and the earlier burst's expiry must NOT clear it
+// — only the newest burst's own expiry restores a clean link.
+func TestOverlappingBurstsKeepLatestBER(t *testing.T) {
+	k := sim.NewKernel()
+	topo, err := topology.Build(topology.DaisyChain, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := network.New(k, topo, network.DefaultConfig())
+	sc := fault.Scenario{Events: []fault.Event{
+		{At: fault.Duration(1 * sim.Microsecond), Kind: fault.CorruptBurst, Link: 0,
+			BER: 1e-3, Duration: fault.Duration(5 * sim.Microsecond)},
+		{At: fault.Duration(3 * sim.Microsecond), Kind: fault.CorruptBurst, Link: 0,
+			BER: 1e-4, Duration: fault.Duration(10 * sim.Microsecond)},
+	}}
+	if _, err := fault.Attach(net, sc); err != nil {
+		t.Fatal(err)
+	}
+	ber := func() float64 { return net.Links[0].Config().BER }
+
+	k.Run(2 * sim.Microsecond)
+	if got := ber(); got != 1e-3 {
+		t.Fatalf("BER = %g during the first burst, want 1e-3", got)
+	}
+	k.Run(4 * sim.Microsecond)
+	if got := ber(); got != 1e-4 {
+		t.Fatalf("BER = %g after the second burst starts, want 1e-4", got)
+	}
+	// t = 6 µs is the first burst's expiry: it must see that a newer
+	// burst owns the link and leave the BER alone.
+	k.Run(7 * sim.Microsecond)
+	if got := ber(); got != 1e-4 {
+		t.Fatalf("BER = %g after the stale expiry fired, want 1e-4 (first burst clobbered the second)", got)
+	}
+	k.Run(14 * sim.Microsecond)
+	if got := ber(); got != 0 {
+		t.Fatalf("BER = %g after the second burst's expiry, want 0", got)
+	}
+}
+
 // TestScenarioJSON covers the wire format: duration strings, raw
 // picoseconds, and the round trip through Key().
 func TestScenarioJSON(t *testing.T) {

@@ -1,0 +1,232 @@
+package fault_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"math/rand"
+
+	"memnet/internal/audit"
+	"memnet/internal/core"
+	"memnet/internal/exp"
+	"memnet/internal/fault"
+	"memnet/internal/link"
+	"memnet/internal/network"
+	"memnet/internal/sim"
+	"memnet/internal/topology"
+	"memnet/internal/workload"
+)
+
+// TestKillRepairReturnsToHealthy is the recovery acceptance test: on
+// every topology, killing module 1 and repairing it mid-run must leave a
+// healthy steady state — no failed links, the outage closed (MTTR > 0,
+// availability < 1, nothing still open), traffic flowing — under a
+// full-rate audit and an armed watchdog, so a stall or any conservation
+// violation fails the run outright.
+func TestKillRepairReturnsToHealthy(t *testing.T) {
+	wl, err := workload.ByName("mixA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, topo := range topology.Kinds {
+		t.Run(topo.String(), func(t *testing.T) {
+			spec := exp.Spec{
+				Workload:       wl,
+				Topology:       topo,
+				Size:           exp.Small,
+				Mech:           exp.MechVWLROO,
+				Policy:         core.PolicyAware,
+				Alpha:          0.05,
+				SimTime:        300 * sim.Microsecond,
+				Warmup:         0,
+				AuditEvery:     1,
+				RequestTimeout: 2 * sim.Microsecond,
+				MaxRetries:     4,
+				Watchdog:       true,
+				Faults: fault.Scenario{Events: []fault.Event{
+					{At: fault.Duration(50 * sim.Microsecond), Kind: fault.ModuleFail, Module: 1},
+					{At: fault.Duration(90 * sim.Microsecond), Kind: fault.ModuleRepair, Module: 1},
+				}},
+			}
+			res, err := exp.Run(spec)
+			if err != nil {
+				t.Fatalf("kill->repair run failed: %v", err)
+			}
+			if res.Faults.FailedLinks != 0 {
+				t.Fatalf("FailedLinks = %d after repair, want 0", res.Faults.FailedLinks)
+			}
+			// A module repair retrains both of its links.
+			if res.Faults.RepairedLinks < 2 {
+				t.Fatalf("RepairedLinks = %d, want >= 2", res.Faults.RepairedLinks)
+			}
+			a := res.Availability
+			if a.Outages == 0 {
+				t.Fatal("no outage recorded for the module kill")
+			}
+			if a.OpenOutages != 0 {
+				t.Fatalf("%d outage(s) still open at end of run", a.OpenOutages)
+			}
+			if a.MTTR <= 0 {
+				t.Fatalf("MTTR = %v, want > 0", a.MTTR)
+			}
+			if a.Availability <= 0 || a.Availability >= 1 {
+				t.Fatalf("availability = %v, want in (0, 1)", a.Availability)
+			}
+			if res.Throughput == 0 {
+				t.Fatal("throughput collapsed to zero despite the repair")
+			}
+		})
+	}
+}
+
+// chaosScenario builds a seeded random fault schedule: link and module
+// kills (each with a paired repair), corrupt bursts, wake faults, and
+// vault stalls, all inside [5 µs, 160 µs]. A terminal repair wave at
+// 220 µs revives anything still dead — including links the CRC
+// escalation ladder hard-failed on its own — so the end state must be
+// healthy regardless of what the random schedule did.
+func chaosScenario(seed int64, nLinks, nModules int) fault.Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	at := func(us int) fault.Duration { return fault.Duration(sim.Duration(us) * sim.Microsecond) }
+	var evs []fault.Event
+	for i := 0; i < 10; i++ {
+		start := 5 + rng.Intn(120)
+		switch rng.Intn(5) {
+		case 0:
+			li := rng.Intn(nLinks)
+			evs = append(evs,
+				fault.Event{At: at(start), Kind: fault.LinkFail, Link: li},
+				fault.Event{At: at(start + 5 + rng.Intn(25)), Kind: fault.LinkRepair, Link: li})
+		case 1:
+			m := rng.Intn(nModules)
+			evs = append(evs,
+				fault.Event{At: at(start), Kind: fault.ModuleFail, Module: m},
+				fault.Event{At: at(start + 5 + rng.Intn(25)), Kind: fault.ModuleRepair, Module: m})
+		case 2:
+			bers := []float64{1e-6, 1e-4, 0.2}
+			evs = append(evs, fault.Event{At: at(start), Kind: fault.CorruptBurst,
+				Link: rng.Intn(nLinks), BER: bers[rng.Intn(len(bers))],
+				Duration: at(1 + rng.Intn(30))})
+		case 3:
+			ev := fault.Event{At: at(start), Kind: fault.WakeFault, Link: rng.Intn(nLinks)}
+			if rng.Intn(2) == 0 {
+				ev.Drop = true
+			} else {
+				ev.Duration = fault.Duration(sim.Duration(10+rng.Intn(90)) * sim.Nanosecond)
+			}
+			evs = append(evs, ev)
+		case 4:
+			evs = append(evs, fault.Event{At: at(start), Kind: fault.VaultStall,
+				Module: rng.Intn(nModules), Duration: at(1 + rng.Intn(8))})
+		}
+	}
+	for li := 0; li < nLinks; li++ {
+		evs = append(evs, fault.Event{At: at(220), Kind: fault.LinkRepair, Link: li})
+	}
+	return fault.Scenario{Seed: uint64(seed), Events: evs}
+}
+
+// soakRun executes one chaos soak: 300 µs of traffic under the seeded
+// schedule with timeouts armed and a full-rate auditor attached, then a
+// drained cooldown. It fails the test unless the network quiesces fully
+// healthy with zero audit violations, and returns a fingerprint of every
+// fault-path counter for the byte-identical replay check.
+func soakRun(t *testing.T, kind topology.Kind, seed int64) string {
+	t.Helper()
+	k := sim.NewKernel()
+	wl, err := workload.ByName("mixA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := topology.Build(kind, wl.Modules(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := network.DefaultConfig()
+	cfg.Mechanism = link.MechVWL
+	cfg.ROO = true
+	cfg.Wakeup = link.WakeupDefault
+	cfg.Retrain = 200 * sim.Nanosecond
+	cfg.MaxCRCRetries = 3 // tight budget so high-BER bursts climb the ladder
+	net := network.New(k, topo, cfg)
+	aud := audit.New(audit.Config{SampleEvery: 1, SweepEvery: 1024}, k.Now)
+	net.AttachAudit(aud)
+	fecfg := workload.DefaultFrontEndConfig(42)
+	fecfg.Timeout = 2 * sim.Microsecond
+	fecfg.MaxRetries = 3
+	fe, err := workload.NewFrontEnd(k, net, wl, fecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := fault.Attach(net, chaosScenario(seed, len(net.Links), topo.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe.Start()
+	k.Run(300 * sim.Microsecond)
+	fe.Stop()
+	// Cooldown: nothing new is issued; stragglers complete or time out.
+	k.Run(500 * sim.Microsecond)
+
+	for m := 0; m < topo.N(); m++ {
+		if net.Unreachable(m) {
+			t.Errorf("module %d unreachable after the repair wave", m)
+		}
+	}
+	if err := net.CheckQuiesced(); err != nil {
+		t.Errorf("network not quiesced: %v", err)
+	}
+	if out := fe.Outstanding(); out != 0 {
+		t.Errorf("%d request(s) still outstanding after cooldown", out)
+	}
+	aud.RunSweeps()
+	if vs := aud.Violations(); len(vs) != 0 {
+		t.Fatalf("audit violations:\n%v", vs)
+	}
+	rep := net.AvailabilityReport()
+	if rep.OpenOutages != 0 {
+		t.Errorf("%d outage(s) still open after the repair wave", rep.OpenOutages)
+	}
+	return fmt.Sprintf("net=%+v fe=%+v inj=%+v avail=%+v events=%d",
+		net.FaultStats(), fe.FaultStats(), inj.Counts(), rep, k.Processed())
+}
+
+// soakSeeds returns the chaos seeds: {1, 2, 3} by default, overridable
+// with MEMNET_SOAK_SEEDS (comma-separated) for longer campaigns — which
+// is what `make soak` relies on.
+func soakSeeds(t *testing.T) []int64 {
+	env := os.Getenv("MEMNET_SOAK_SEEDS")
+	if env == "" {
+		return []int64{1, 2, 3}
+	}
+	var seeds []int64
+	for _, f := range strings.Split(env, ",") {
+		s, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			t.Fatalf("bad MEMNET_SOAK_SEEDS entry %q: %v", f, err)
+		}
+		seeds = append(seeds, s)
+	}
+	return seeds
+}
+
+// TestChaosSoak is the deterministic chaos campaign: every topology ×
+// every seed runs the random fail/burst/wake-fault/stall + repair
+// schedule twice and must converge to a healthy, quiesced, audit-clean
+// network with byte-identical fault-path fingerprints.
+func TestChaosSoak(t *testing.T) {
+	for _, kind := range topology.Kinds {
+		for _, seed := range soakSeeds(t) {
+			t.Run(fmt.Sprintf("%s/seed%d", kind, seed), func(t *testing.T) {
+				a := soakRun(t, kind, seed)
+				b := soakRun(t, kind, seed)
+				if a != b {
+					t.Fatalf("replay diverged for seed %d:\n%s\nvs\n%s", seed, a, b)
+				}
+			})
+		}
+	}
+}

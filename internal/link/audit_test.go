@@ -12,15 +12,19 @@ import (
 // TestLegalTransitionLattice pins the full state lattice.
 func TestLegalTransitionLattice(t *testing.T) {
 	legal := map[[2]State]bool{
-		{StateOn, StateOff}:        true,
-		{StateOff, StateWaking}:    true,
-		{StateWaking, StateOn}:     true,
-		{StateWaking, StateOff}:    true,
-		{StateOn, StateFailed}:     true,
-		{StateOff, StateFailed}:    true,
-		{StateWaking, StateFailed}: true,
+		{StateOn, StateOff}:            true,
+		{StateOff, StateWaking}:        true,
+		{StateWaking, StateOn}:         true,
+		{StateWaking, StateOff}:        true,
+		{StateOn, StateFailed}:         true,
+		{StateOff, StateFailed}:        true,
+		{StateWaking, StateFailed}:     true,
+		{StateOn, StateRetraining}:     true, // CRC escalation retrains a live link
+		{StateFailed, StateRetraining}: true, // repair
+		{StateRetraining, StateOn}:     true, // training complete
+		{StateRetraining, StateFailed}: true, // killed mid-training
 	}
-	states := []State{StateOn, StateOff, StateWaking, StateFailed}
+	states := []State{StateOn, StateOff, StateWaking, StateFailed, StateRetraining}
 	for _, from := range states {
 		for _, to := range states {
 			want := legal[[2]State{from, to}]

@@ -38,9 +38,14 @@ const (
 	StateOff
 	// StateWaking: the link is resynchronizing after an off period.
 	StateWaking
-	// StateFailed: the link has permanently failed (fault injection). It
-	// draws no power, accepts no traffic, and never recovers.
+	// StateFailed: the link has failed (fault injection or CRC escalation).
+	// It draws no power and accepts no traffic until repaired.
 	StateFailed
+	// StateRetraining: the link is re-running lane training after a repair
+	// or a CRC escalation. The PHY drives training sequences on every lane
+	// at full power but delivers no bandwidth; enqueued packets buffer
+	// until training completes.
+	StateRetraining
 )
 
 // String implements fmt.Stringer.
@@ -54,6 +59,8 @@ func (s State) String() string {
 		return "waking"
 	case StateFailed:
 		return "failed"
+	case StateRetraining:
+		return "retraining"
 	default:
 		return fmt.Sprintf("State(%d)", int(s))
 	}
@@ -77,6 +84,12 @@ type Config struct {
 	// RetryDelay is the detection + retry-request turnaround (default
 	// 32 ns when BER > 0).
 	RetryDelay sim.Duration
+	// Retrain is the lane-training latency for repair and CRC escalation
+	// (default RetrainDefault).
+	Retrain sim.Duration
+	// MaxCRCRetries bounds consecutive CRC retransmissions of one packet
+	// before the link escalates (default DefaultMaxCRCRetries).
+	MaxCRCRetries int
 }
 
 // Link is one unidirectional point-to-point link plus its controller:
@@ -114,6 +127,14 @@ type Link struct {
 	// OnDrop receives every packet the link refuses or loses because it
 	// has failed. Wired by the network layer for drop accounting.
 	OnDrop func(*packet.Packet)
+	// OnRetrained fires when retraining completes and the link is back on.
+	// The network layer uses it to clear unreachable marks after a repair.
+	OnRetrained func()
+	// OnHardFail fires when the CRC escalation ladder exhausts its options
+	// and the link must be taken down. When wired (by the network layer,
+	// which strands and error-completes the buffered requests) it replaces
+	// the link's own Fail-and-drop fallback.
+	OnHardFail func()
 
 	// Power-control state.
 	bwMode     int
@@ -136,6 +157,13 @@ type Link struct {
 	wakeDrop   bool         // the next wakeup fails once and is re-attempted
 	wakeFaults uint64
 	dropped    uint64
+
+	// Fault-recovery state.
+	retrainSeq uint64 // cancels stale retrain-completion events
+	crcStreak  int    // consecutive CRC failures on the head packet
+	escLevel   int    // next rung of the escalation ladder
+	esc        EscalationStats
+	repairs    uint64
 
 	// Energy/time integration.
 	lastAccount  sim.Time
@@ -162,6 +190,12 @@ type Link struct {
 func New(k *sim.Kernel, cfg Config, id int, dir Direction, owner, from, to, depth int) *Link {
 	if cfg.Wakeup <= 0 {
 		cfg.Wakeup = WakeupDefault
+	}
+	if cfg.Retrain <= 0 {
+		cfg.Retrain = RetrainDefault
+	}
+	if cfg.MaxCRCRetries <= 0 {
+		cfg.MaxCRCRetries = DefaultMaxCRCRetries
 	}
 	l := &Link{
 		kernel:      k,
@@ -190,21 +224,27 @@ func New(k *sim.Kernel, cfg Config, id int, dir Direction, owner, from, to, dept
 	return l
 }
 
-// legalTransition reports whether the ROO/failure state lattice allows
-// from→to: on→off, off→waking, waking→{on, off} (a dropped wakeup falls
-// back and retries), and any live state→failed. A failed link never
-// leaves StateFailed, and a link never jumps off→on without waking.
+// legalTransition reports whether the ROO/failure/recovery state lattice
+// allows from→to: on→{off, retraining} (CRC escalation retrains a live
+// link), off→waking, waking→{on, off} (a dropped wakeup falls back and
+// retries), and any live state→failed. A failed link leaves StateFailed
+// only through retraining (repair), retraining completes only to on, and
+// a link never jumps off→on without waking.
 func legalTransition(from, to State) bool {
 	if to == StateFailed {
 		return from != StateFailed
 	}
 	switch from {
 	case StateOn:
-		return to == StateOff
+		return to == StateOff || to == StateRetraining
 	case StateOff:
 		return to == StateWaking
 	case StateWaking:
 		return to == StateOn || to == StateOff
+	case StateFailed:
+		return to == StateRetraining
+	case StateRetraining:
+		return to == StateOn
 	}
 	return false
 }
@@ -271,8 +311,11 @@ func (l *Link) auditSweep(now sim.Time, report func(component, rule, detail stri
 	if l.rooMode < 0 || l.rooMode >= NumROOModes {
 		report(c, "roo-mode-range", fmt.Sprintf("roo mode %d outside [0,%d)", l.rooMode, NumROOModes))
 	}
-	if l.state < StateOn || l.state > StateFailed {
+	if l.state < StateOn || l.state > StateRetraining {
 		report(c, "state-range", fmt.Sprintf("state %d is not a lattice state", l.state))
+	}
+	if (l.state == StateFailed || l.state == StateRetraining) && l.transmitting {
+		report(c, "recovery-quiet", fmt.Sprintf("%s link is serializing a packet", l.state))
 	}
 	if l.energyIdle < 0 || l.energyActive < 0 {
 		report(c, "energy-sign", fmt.Sprintf("idle=%g active=%g J", l.energyIdle, l.energyActive))
@@ -322,7 +365,7 @@ func (l *Link) Dropped() uint64 { return l.dropped }
 // WakeFaults counts injected wakeup faults consumed by this link.
 func (l *Link) WakeFaults() uint64 { return l.wakeFaults }
 
-// Failed reports whether the link has permanently failed.
+// Failed reports whether the link is down awaiting repair.
 func (l *Link) Failed() bool { return l.state == StateFailed }
 
 // SetBER reprograms the link's bit error rate at runtime (fault
@@ -355,11 +398,11 @@ func (l *Link) InjectWakeFault(extra sim.Duration, drop bool) {
 	l.wakeDrop = l.wakeDrop || drop
 }
 
-// Fail permanently fails the link: energy is integrated up to now at the
-// pre-failure draw, the state moves to StateFailed (0 W), and every
-// buffered or in-flight packet is handed back to the caller so the
-// network can complete or account them. Subsequent Enqueues are dropped
-// through OnDrop. Fail is idempotent.
+// Fail fails the link: energy is integrated up to now at the pre-failure
+// draw, the state moves to StateFailed (0 W), and every buffered or
+// in-flight packet is handed back to the caller so the network can
+// complete or account them. Subsequent Enqueues are dropped through
+// OnDrop until Repair brings the link back. Fail is idempotent.
 func (l *Link) Fail() []*packet.Packet {
 	if l.state == StateFailed {
 		return nil
@@ -448,6 +491,11 @@ func (l *Link) currentWatts(now sim.Time) float64 {
 	if l.state == StateFailed {
 		return 0 // a dead link draws nothing and is dropped from accounting
 	}
+	if l.state == StateRetraining {
+		// Training drives the PHY on every lane at full power while
+		// delivering no bandwidth — the I/O cost of recovery.
+		return l.cfg.FullWatts
+	}
 	if l.state == StateOff {
 		return l.cfg.FullWatts * OffPowerFraction
 	}
@@ -484,6 +532,8 @@ func (l *Link) account(now sim.Time) {
 		l.mon.epoch.OffTime += d
 	case StateWaking:
 		l.mon.epoch.WakingTime += d
+	case StateRetraining:
+		l.mon.epoch.RetrainTime += d
 	}
 	l.lastAccount = now
 }
@@ -570,15 +620,24 @@ func (l *Link) tryTransmit() {
 		l.inflight = nil
 		if l.corrupted(p) {
 			// CRC failure: put the packet back at the head and
-			// retransmit after the retry turnaround.
+			// retransmit after the retry turnaround. Consecutive
+			// failures escalate (degrade → retrain → hard-fail)
+			// instead of spinning forever under a sustained burst.
 			l.retries++
 			l.queue = append(l.queue, nil)
 			copy(l.queue[1:], l.queue)
 			l.queue[0] = p
 			l.offSeq++ // keep ROO from sleeping mid-retry
+			l.crcStreak++
+			if l.crcStreak >= l.cfg.MaxCRCRetries {
+				l.escalate(end)
+				return
+			}
 			l.kernel.After(l.cfg.RetryDelay, l.tryTransmit)
 			return
 		}
+		// A clean transmission resets the escalation ladder.
+		l.crcStreak, l.escLevel = 0, 0
 		l.bytes += uint64(p.Bytes())
 		depart := end + serdes
 		l.mon.observeDeparture(p, depart-p.HopArrive)
@@ -594,6 +653,117 @@ func (l *Link) tryTransmit() {
 			l.enterIdle(end)
 		}
 	})
+}
+
+// Escalation ladder rungs: each exhausted CRC retry streak moves the
+// link one rung further until a clean transmission resets it.
+const (
+	escDegrade  = iota // drop to the half-width lane mode
+	escRetrain         // re-run lane training
+	escHardFail        // give up: fail the link
+)
+
+// EscalationStats counts the CRC escalation ladder's actions.
+type EscalationStats struct {
+	Degrades  uint64 // half-width fallbacks
+	Retrains  uint64 // escalation-triggered retrains (repairs not included)
+	HardFails uint64 // links taken down after retraining did not help
+}
+
+// Escalations returns the ladder counters.
+func (l *Link) Escalations() EscalationStats { return l.esc }
+
+// Repairs counts completed failed→retraining→on repair cycles started on
+// this link.
+func (l *Link) Repairs() uint64 { return l.repairs }
+
+// escalate runs one rung of the ladder after MaxCRCRetries consecutive
+// CRC failures: degrade to the half-width mode, then retrain, then fail
+// the link for good. Called from the transmit-completion event with the
+// corrupt packet already back at the head of the queue.
+func (l *Link) escalate(now sim.Time) {
+	l.crcStreak = 0
+	lvl := l.escLevel
+	if lvl == escDegrade && NumModes(l.cfg.Mechanism) <= HalfWidthMode {
+		lvl = escRetrain // no narrower mode to fall back to
+	}
+	switch lvl {
+	case escDegrade:
+		l.esc.Degrades++
+		l.escLevel = escRetrain
+		l.SetBWMode(HalfWidthMode)
+		l.kernel.After(l.cfg.RetryDelay, l.tryTransmit)
+	case escRetrain:
+		l.esc.Retrains++
+		l.escLevel = escHardFail
+		l.account(now)
+		l.setState(StateRetraining)
+		l.beginRetrain(now)
+	default:
+		l.esc.HardFails++
+		if l.OnHardFail != nil {
+			// The network layer fails the link and error-completes the
+			// stranded requests.
+			l.OnHardFail()
+			return
+		}
+		for _, p := range l.Fail() {
+			l.dropped++
+			if l.OnDrop != nil {
+				l.OnDrop(p)
+			}
+		}
+	}
+}
+
+// beginRetrain schedules the training-complete event. The sequence
+// number cancels it if the link fails (or is failed) mid-training.
+func (l *Link) beginRetrain(now sim.Time) {
+	l.retrainSeq++
+	seq := l.retrainSeq
+	l.kernel.Schedule(now+l.cfg.Retrain, func() { l.finishRetrain(seq) })
+}
+
+// finishRetrain completes lane training: the link comes back at full
+// width with a clean CRC streak and resumes draining its buffer.
+func (l *Link) finishRetrain(seq uint64) {
+	if l.state != StateRetraining || l.retrainSeq != seq {
+		return // failed mid-training, or superseded by a newer retrain
+	}
+	now := l.kernel.Now()
+	l.account(now)
+	// Training re-equalizes every lane, so the link exits at full width;
+	// zeroing the transition deadline also cancels any stale mode-commit.
+	l.bwMode, l.bwTarget, l.bwTransEnd = 0, 0, 0
+	l.crcStreak = 0
+	l.setState(StateOn)
+	l.mon.epoch.Retrains++
+	if l.OnRetrained != nil {
+		l.OnRetrained()
+	}
+	if len(l.queue) > 0 {
+		l.tryTransmit()
+	} else {
+		l.enterIdle(now)
+	}
+}
+
+// Repair begins recovery of a failed link: it enters StateRetraining
+// (full I/O power, no traffic) and comes back on after the configured
+// training latency. The escalation ladder restarts from the bottom.
+// Returns false — and does nothing — unless the link is failed.
+func (l *Link) Repair() bool {
+	if l.state != StateFailed {
+		return false
+	}
+	now := l.kernel.Now()
+	l.account(now) // close the 0 W failed interval
+	l.setState(StateRetraining)
+	l.repairs++
+	l.escLevel = escDegrade
+	l.wakeExtra, l.wakeDrop = 0, false // pending wake faults die with the old PHY state
+	l.beginRetrain(now)
+	return true
 }
 
 // enterIdle opens an idle interval and arms the ROO off-check.
@@ -715,7 +885,8 @@ func (l *Link) Wake() {
 // mechanism's transition latency, during which the link runs at the
 // slower of the two modes and draws the higher power.
 func (l *Link) SetBWMode(m int) {
-	if l.cfg.Mechanism == MechNone || m == l.bwTarget || l.state == StateFailed {
+	if l.cfg.Mechanism == MechNone || m == l.bwTarget ||
+		l.state == StateFailed || l.state == StateRetraining {
 		return
 	}
 	if m < 0 || m >= NumModes(l.cfg.Mechanism) {
@@ -731,8 +902,9 @@ func (l *Link) SetBWMode(m int) {
 	end := now + TransitionLatency(l.cfg.Mechanism)
 	l.bwTransEnd = end
 	l.kernel.Schedule(end, func() {
-		if l.bwTransEnd != end || l.bwTarget != m || l.state == StateFailed {
-			return // superseded
+		if l.bwTransEnd != end || l.bwTarget != m ||
+			l.state == StateFailed || l.state == StateRetraining {
+			return // superseded (retraining resets the width itself)
 		}
 		l.account(end)
 		l.bwMode = m
@@ -752,9 +924,10 @@ func (l *Link) SetROOMode(m int) {
 
 // ForceFullPower puts the link in full power until ClearForce (the §V
 // AMS-violation response): full bandwidth, ROO suspended, woken if off.
-// A failed link cannot be forced back up.
+// A failed link cannot be forced back up, and a retraining link is
+// already at full I/O power and manages its own return to service.
 func (l *Link) ForceFullPower() {
-	if l.state == StateFailed {
+	if l.state == StateFailed || l.state == StateRetraining {
 		return
 	}
 	l.forcedFull = true

@@ -1,0 +1,196 @@
+package link
+
+import (
+	"testing"
+
+	"memnet/internal/packet"
+	"memnet/internal/sim"
+)
+
+// recoveryConfig is the shared base for the ladder tests: a short retrain
+// and a tight retry budget keep the simulated schedules small without
+// changing the ladder's shape.
+func recoveryConfig(mech Mechanism) Config {
+	return Config{
+		Mechanism:     mech,
+		RetryDelay:    10 * sim.Nanosecond,
+		Retrain:       100 * sim.Nanosecond,
+		MaxCRCRetries: 2,
+		FullWatts:     0.58625,
+	}
+}
+
+// TestRepairRetrainsAndDelivers walks the full repair cycle: a failed
+// link enters retraining on Repair, buffers (rather than drops) arrivals
+// while training, and comes back on to deliver them. Repair on a healthy
+// link must be a no-op.
+func TestRepairRetrainsAndDelivers(t *testing.T) {
+	k := sim.NewKernel()
+	l := New(k, recoveryConfig(MechVWL), 0, DirRequest, 0, packet.ProcessorID, 0, 1)
+	var delivered []*packet.Packet
+	l.Deliver = func(p *packet.Packet) { delivered = append(delivered, p) }
+
+	if l.Repair() {
+		t.Fatal("Repair on a healthy link must refuse")
+	}
+	l.Fail()
+	l.Enqueue(&packet.Packet{ID: 1, Kind: packet.ReadReq, Src: packet.ProcessorID, Dst: 0})
+	if l.Dropped() != 1 {
+		t.Fatalf("failed link dropped %d packets, want 1", l.Dropped())
+	}
+
+	if !l.Repair() {
+		t.Fatal("Repair on a failed link refused")
+	}
+	if l.State() != StateRetraining {
+		t.Fatalf("state = %v after Repair, want retraining", l.State())
+	}
+	// Arrivals during training wait in the queue instead of dying.
+	l.Enqueue(&packet.Packet{ID: 2, Kind: packet.ReadReq, Src: packet.ProcessorID, Dst: 0})
+	if l.QueueLen() != 1 || l.Dropped() != 1 {
+		t.Fatalf("retraining link queued %d / dropped %d, want 1 / 1", l.QueueLen(), l.Dropped())
+	}
+
+	k.RunAll()
+	if l.State() != StateOn {
+		t.Fatalf("state = %v after training, want on", l.State())
+	}
+	if len(delivered) != 1 || delivered[0].ID != 2 {
+		t.Fatalf("delivered = %v, want packet 2", delivered)
+	}
+	if l.Repairs() != 1 {
+		t.Fatalf("Repairs = %d, want 1", l.Repairs())
+	}
+
+	// A repaired link draws power again: the failed interval was 0 W, so
+	// any accumulation proves the retraining + on intervals were charged.
+	l.FinishAccounting()
+	idle, active := l.EnergyJoules()
+	if idle+active == 0 {
+		t.Fatal("repaired link accumulated no energy")
+	}
+}
+
+// TestCRCEscalationLadder drives a sustained BER=1 burst through the
+// whole ladder: after MaxCRCRetries consecutive CRC failures the link
+// degrades to half width, after another streak it retrains, and after a
+// third it hard-fails — so RunAll terminates instead of retrying forever
+// (the unbounded-retry hang this bound exists to prevent).
+func TestCRCEscalationLadder(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := recoveryConfig(MechVWL)
+	cfg.BER = 1
+	l := New(k, cfg, 0, DirRequest, 0, packet.ProcessorID, 0, 1)
+	l.Deliver = func(p *packet.Packet) { t.Fatalf("corrupt packet %v delivered", p) }
+	var dropped []*packet.Packet
+	l.OnDrop = func(p *packet.Packet) { dropped = append(dropped, p) }
+
+	l.Enqueue(&packet.Packet{ID: 1, Kind: packet.ReadReq, Src: packet.ProcessorID, Dst: 0})
+	k.RunAll() // must terminate: the ladder bounds the retry loop
+
+	want := EscalationStats{Degrades: 1, Retrains: 1, HardFails: 1}
+	if l.Escalations() != want {
+		t.Fatalf("escalations = %+v, want %+v", l.Escalations(), want)
+	}
+	if !l.Failed() {
+		t.Fatalf("state = %v after the ladder, want failed", l.State())
+	}
+	if len(dropped) != 1 || dropped[0].ID != 1 {
+		t.Fatalf("dropped = %v, want packet 1", dropped)
+	}
+	// Two CRC retries per rung, three rungs.
+	if l.Retries() != 6 {
+		t.Fatalf("retries = %d, want 6", l.Retries())
+	}
+}
+
+// TestEscalationSkipsDegradeWithoutModes: with MechNone there is no
+// narrower lane mode, so the first exhausted streak retrains directly.
+func TestEscalationSkipsDegradeWithoutModes(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := recoveryConfig(MechNone)
+	cfg.BER = 1
+	l := New(k, cfg, 0, DirRequest, 0, packet.ProcessorID, 0, 1)
+	l.Deliver = func(p *packet.Packet) { t.Fatalf("corrupt packet %v delivered", p) }
+
+	l.Enqueue(&packet.Packet{ID: 1, Kind: packet.ReadReq, Src: packet.ProcessorID, Dst: 0})
+	k.RunAll()
+
+	want := EscalationStats{Degrades: 0, Retrains: 1, HardFails: 1}
+	if l.Escalations() != want {
+		t.Fatalf("escalations = %+v, want %+v", l.Escalations(), want)
+	}
+	if !l.Failed() {
+		t.Fatalf("state = %v, want failed", l.State())
+	}
+}
+
+// TestCleanTransmitResetsLadder: a burst that ends mid-ladder must reset
+// the escalation level — the next burst restarts from the degrade rung
+// rather than resuming where the previous one left off.
+func TestCleanTransmitResetsLadder(t *testing.T) {
+	k := sim.NewKernel()
+	l := New(k, recoveryConfig(MechVWL), 0, DirRequest, 0, packet.ProcessorID, 0, 1)
+	var delivered []*packet.Packet
+	l.Deliver = func(p *packet.Packet) { delivered = append(delivered, p) }
+	l.OnDrop = func(p *packet.Packet) {}
+
+	l.SetBER(1)
+	l.Enqueue(&packet.Packet{ID: 1, Kind: packet.ReadReq, Src: packet.ProcessorID, Dst: 0})
+	for i := 0; l.Escalations().Degrades == 0; i++ {
+		if i > 1000 {
+			t.Fatal("degrade rung never reached")
+		}
+		k.Run(k.Now() + 10*sim.Nanosecond)
+	}
+
+	// Burst ends before the retrain rung: the packet goes through and the
+	// ladder must fully unwind.
+	l.SetBER(0)
+	k.RunAll()
+	if len(delivered) != 1 || delivered[0].ID != 1 {
+		t.Fatalf("delivered = %v, want packet 1", delivered)
+	}
+	if got := l.Escalations(); got != (EscalationStats{Degrades: 1}) {
+		t.Fatalf("escalations = %+v, want only the one degrade", got)
+	}
+
+	// A fresh burst climbs the whole ladder from the bottom again.
+	l.SetBER(1)
+	l.Enqueue(&packet.Packet{ID: 2, Kind: packet.ReadReq, Src: packet.ProcessorID, Dst: 0})
+	k.RunAll()
+	want := EscalationStats{Degrades: 2, Retrains: 1, HardFails: 1}
+	if l.Escalations() != want {
+		t.Fatalf("escalations after second burst = %+v, want %+v", l.Escalations(), want)
+	}
+}
+
+// TestFailCancelsRetrain: a Fail landing mid-training must win — the
+// pending training-complete event observes the stale sequence and
+// no-ops. A second Repair then completes normally.
+func TestFailCancelsRetrain(t *testing.T) {
+	k := sim.NewKernel()
+	l := New(k, recoveryConfig(MechVWL), 0, DirRequest, 0, packet.ProcessorID, 0, 1)
+	l.Deliver = func(p *packet.Packet) {}
+
+	l.Fail()
+	if !l.Repair() {
+		t.Fatal("first Repair refused")
+	}
+	l.Fail() // dies again mid-training
+	k.RunAll()
+	if !l.Failed() {
+		t.Fatalf("state = %v after mid-training Fail, want failed", l.State())
+	}
+
+	if !l.Repair() {
+		t.Fatal("second Repair refused")
+	}
+	k.RunAll()
+	if l.State() != StateOn {
+		t.Fatalf("state = %v after second repair, want on", l.State())
+	}
+	if l.Repairs() != 2 {
+		t.Fatalf("Repairs = %d, want 2", l.Repairs())
+	}
+}

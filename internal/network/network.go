@@ -39,6 +39,12 @@ type Config struct {
 	// waking as soon as its DRAM begins a read. The paper includes this
 	// in both management schemes whenever ROO links are used.
 	ProactiveRespWake bool
+	// Retrain is every link's lane-training latency for repair and CRC
+	// escalation (defaults to link.RetrainDefault).
+	Retrain sim.Duration
+	// MaxCRCRetries bounds consecutive CRC retransmissions per packet
+	// before a link escalates (0 = link.DefaultMaxCRCRetries).
+	MaxCRCRetries int
 }
 
 // DefaultConfig returns the paper's small-network configuration.
@@ -109,8 +115,11 @@ type Network struct {
 	readLatSum sim.Duration
 	latHist    stats.LatencyHist
 
-	// Degradation state and accounting.
+	// Degradation and recovery state and accounting.
 	unreachable  []bool
+	linkDown     []bool // failed and not yet retrained back into service
+	avail        *stats.Availability
+	repaired     uint64
 	injReads     uint64
 	injWrites    uint64
 	readsFailed  uint64 // reads completed as ReadErr at the processor
@@ -148,6 +157,8 @@ func New(k *sim.Kernel, topo *topology.Topology, cfg Config) *Network {
 	n.Modules = make([]*Module, topo.N())
 	n.Links = make([]*link.Link, 0, 2*topo.N())
 	n.unreachable = make([]bool, topo.N())
+	n.linkDown = make([]bool, 2*topo.N())
+	n.avail = stats.NewAvailability(topo.N())
 
 	for i := 0; i < topo.N(); i++ {
 		m := &Module{
@@ -157,10 +168,12 @@ func New(k *sim.Kernel, topo *topology.Topology, cfg Config) *Network {
 			net:    n,
 		}
 		lcfg := link.Config{
-			Mechanism: cfg.Mechanism,
-			ROO:       cfg.ROO,
-			Wakeup:    cfg.Wakeup,
-			FullWatts: m.Params.LinkFullWatts(),
+			Mechanism:     cfg.Mechanism,
+			ROO:           cfg.ROO,
+			Wakeup:        cfg.Wakeup,
+			FullWatts:     m.Params.LinkFullWatts(),
+			Retrain:       cfg.Retrain,
+			MaxCRCRetries: cfg.MaxCRCRetries,
 		}
 		parent := topo.Parent(i)
 		depth := topo.Depth(i)
@@ -183,6 +196,11 @@ func New(k *sim.Kernel, topo *topology.Topology, cfg Config) *Network {
 	for _, l := range n.Links {
 		l := l
 		l.OnDrop = func(p *packet.Packet) { n.handleDrop(l, p) }
+		// Recovery wiring: an exhausted escalation ladder fails the link
+		// through the network (stranded requests error-complete); a
+		// finished retraining re-admits the subtree if the link was down.
+		l.OnHardFail = func() { _ = n.FailLink(l.ID) }
+		l.OnRetrained = func() { n.linkRetrained(l) }
 	}
 	return n
 }
@@ -239,6 +257,22 @@ func (n *Network) auditSweep(now sim.Time, report func(component, rule, detail s
 			"injected %d->%d terminal %d->%d", n.auditPrevInj, inj, n.auditPrevTerm, term))
 	}
 	n.auditPrevInj, n.auditPrevTerm = inj, term
+	// Reachability marks must be exactly what the down-link set implies —
+	// a repair that forgets to re-admit a subtree (or a failure that
+	// forgets to sever one) shows up here.
+	for m := range n.Modules {
+		down := false
+		for a := m; a != packet.ProcessorID; a = n.Topo.Parent(a) {
+			if n.linkDown[2*a] || n.linkDown[2*a+1] {
+				down = true
+				break
+			}
+		}
+		if down != n.unreachable[m] {
+			report("network", "reachability-consistent", fmt.Sprintf(
+				"module %d unreachable=%v but down-link derivation says %v", m, n.unreachable[m], down))
+		}
+	}
 }
 
 // CheckQuiesced verifies the drained-network half of the conservation
@@ -508,11 +542,12 @@ func (n *Network) completeRead(p *packet.Packet) {
 	}
 }
 
-// FailLink permanently fails the connectivity link at Links[idx] and
-// marks the subtree hanging off it unreachable. Packets stranded on the
-// link are recovered: requests complete as error responses generated at
-// the live (upstream) side of the cut, responses are accounted as
-// terminally lost so their requests resolve via issuer timeouts.
+// FailLink fails the connectivity link at Links[idx] and marks the
+// subtree hanging off it unreachable until the link is repaired. Packets
+// stranded on the link are recovered: requests complete as error
+// responses generated at the live (upstream) side of the cut, responses
+// are accounted as terminally lost so their requests resolve via issuer
+// timeouts.
 func (n *Network) FailLink(idx int) error {
 	if idx < 0 || idx >= len(n.Links) {
 		return fmt.Errorf("network: no link %d (have %d)", idx, len(n.Links))
@@ -526,9 +561,8 @@ func (n *Network) FailLink(idx int) error {
 	stranded := l.Fail()
 	// Either direction dying severs read round-trips through the module,
 	// so the whole subtree is unreachable for new requests.
-	for _, d := range n.Topo.Subtree(mod) {
-		n.unreachable[d] = true
-	}
+	n.linkDown[idx] = true
+	n.recomputeReachability()
 	for _, p := range stranded {
 		n.strand(l, p)
 	}
@@ -546,8 +580,84 @@ func (n *Network) FailModule(id int) error {
 	return n.FailLink(2*id + 1)
 }
 
-// Unreachable reports whether module id sits below a failed link.
+// RepairLink begins recovery of a failed link: the link retrains (full
+// I/O power, no traffic) and, once training completes, rejoins the
+// network — linkRetrained clears the down mark and re-admits the subtree
+// to routing. Requests that timed out during the outage come back
+// through the issuer's bounded retry or stay completed as errors.
+// Repairing a live link is a no-op; only an out-of-range index errors.
+func (n *Network) RepairLink(idx int) error {
+	if idx < 0 || idx >= len(n.Links) {
+		return fmt.Errorf("network: no link %d (have %d)", idx, len(n.Links))
+	}
+	n.Links[idx].Repair()
+	return nil
+}
+
+// RepairModule repairs both connectivity links of module id and clears
+// any injected vault stall, so the module comes back fully operational.
+func (n *Network) RepairModule(id int) error {
+	if id < 0 || id >= len(n.Modules) {
+		return fmt.Errorf("network: no module %d (have %d)", id, len(n.Modules))
+	}
+	if err := n.RepairLink(2 * id); err != nil {
+		return err
+	}
+	if err := n.RepairLink(2*id + 1); err != nil {
+		return err
+	}
+	n.Modules[id].DRAM.ClearStall()
+	return nil
+}
+
+// linkRetrained fires when a link finishes retraining. Self-retrains
+// from the CRC escalation ladder pause traffic but never severed the
+// subtree; only the repair of a down link changes reachability.
+func (n *Network) linkRetrained(l *link.Link) {
+	if !n.linkDown[l.ID] {
+		return
+	}
+	n.linkDown[l.ID] = false
+	n.repaired++
+	n.recomputeReachability()
+}
+
+// recomputeReachability rederives the unreachable marks from the set of
+// down links and feeds the transitions into the availability accounting.
+// It is the single mutation point of unreachable, shared by failure and
+// repair, so stacked faults resolve correctly: repairing the lower of
+// two cuts on one path re-admits nothing until the upper cut heals too.
+func (n *Network) recomputeReachability() {
+	now := n.Kernel.Now()
+	for m := range n.Modules {
+		down := false
+		for a := m; a != packet.ProcessorID; a = n.Topo.Parent(a) {
+			if n.linkDown[2*a] || n.linkDown[2*a+1] {
+				down = true
+				break
+			}
+		}
+		if down == n.unreachable[m] {
+			continue
+		}
+		n.unreachable[m] = down
+		if down {
+			n.avail.Down(m, now)
+		} else {
+			n.avail.Up(m, now)
+		}
+	}
+}
+
+// Unreachable reports whether module id sits below a down link.
 func (n *Network) Unreachable(id int) bool { return n.unreachable[id] }
+
+// AvailabilityReport summarizes the per-module up/down accounting since
+// the network was built.
+func (n *Network) AvailabilityReport() stats.AvailabilityReport {
+	now := n.Kernel.Now()
+	return n.avail.Report(now-n.buildTime, now)
+}
 
 // strand resolves a packet reclaimed from a failing link's queue.
 func (n *Network) strand(l *link.Link, p *packet.Packet) {
@@ -621,6 +731,8 @@ type FaultStats struct {
 	RoutingErrors uint64 // unroutable packets (would have panicked before)
 	FailedLinks   int
 	FailLatSum    sim.Duration // issue-to-error-completion latency of failed reads
+	RepairedLinks uint64       // links retrained back into service after a failure
+	Escalations   link.EscalationStats // CRC retry-ladder actions summed over links
 }
 
 // FaultStats returns a snapshot of the degradation counters.
@@ -633,11 +745,16 @@ func (n *Network) FaultStats() FaultStats {
 		Dropped:       n.droppedPkts,
 		RoutingErrors: n.routingErrs,
 		FailLatSum:    n.failLatSum,
+		RepairedLinks: n.repaired,
 	}
 	for _, l := range n.Links {
 		if l.Failed() {
 			s.FailedLinks++
 		}
+		e := l.Escalations()
+		s.Escalations.Degrades += e.Degrades
+		s.Escalations.Retrains += e.Retrains
+		s.Escalations.HardFails += e.HardFails
 	}
 	return s
 }

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"fmt"
+
+	"memnet/internal/sim"
+)
+
+// Availability tracks per-module up/down intervals for the fault-recovery
+// subsystem. The network layer feeds it reachability transitions (a module
+// goes down when any link on its path to the processor fails, up when the
+// last such link finishes retraining); the report summarizes outage
+// counts, downtime, MTTR, and the availability fraction over a window.
+type Availability struct {
+	down      []bool
+	downSince []sim.Time
+	downTime  []sim.Duration // completed outage time per module
+	outages   int            // completed (repaired) outages
+	mttrSum   sim.Duration   // total duration of completed outages
+}
+
+// NewAvailability tracks n modules, all initially up.
+func NewAvailability(n int) *Availability {
+	return &Availability{
+		down:      make([]bool, n),
+		downSince: make([]sim.Time, n),
+		downTime:  make([]sim.Duration, n),
+	}
+}
+
+// Down opens an outage interval for module id at now. Idempotent: a
+// module already down stays attributed to its original outage start.
+func (a *Availability) Down(id int, now sim.Time) {
+	if a.down[id] {
+		return
+	}
+	a.down[id] = true
+	a.downSince[id] = now
+}
+
+// Up closes module id's outage interval at now. No-op if the module is
+// not down.
+func (a *Availability) Up(id int, now sim.Time) {
+	if !a.down[id] {
+		return
+	}
+	a.down[id] = false
+	d := now - a.downSince[id]
+	a.downTime[id] += d
+	a.outages++
+	a.mttrSum += d
+}
+
+// AvailabilityReport is the flat summary surfaced through exp.Result and
+// the CLIs. All fields are plain values so results JSON-round-trip and
+// compare with reflect.DeepEqual in the journal/cache paths.
+type AvailabilityReport struct {
+	// Modules is the module count the fractions are normalized over.
+	Modules int
+	// Outages counts completed (repaired) module outages; OpenOutages
+	// counts modules still down at report time.
+	Outages     int
+	OpenOutages int
+	// Downtime is total module-downtime (open intervals closed at report
+	// time); MTTR is the mean duration of completed outages.
+	Downtime sim.Duration
+	MTTR     sim.Duration
+	// Availability is 1 − Downtime/(Modules × window): the fraction of
+	// module-time the network could reach its modules.
+	Availability float64
+}
+
+// Report summarizes accounting over a window ending at now.
+func (a *Availability) Report(window sim.Duration, now sim.Time) AvailabilityReport {
+	r := AvailabilityReport{Modules: len(a.down), Outages: a.outages, Availability: 1}
+	for id, d := range a.down {
+		r.Downtime += a.downTime[id]
+		if d {
+			r.OpenOutages++
+			r.Downtime += now - a.downSince[id]
+		}
+	}
+	if a.outages > 0 {
+		r.MTTR = a.mttrSum / sim.Duration(a.outages)
+	}
+	if window > 0 && r.Modules > 0 {
+		r.Availability = 1 - float64(r.Downtime)/float64(sim.Duration(r.Modules)*window)
+	}
+	return r
+}
+
+// String renders the report for CLI output.
+func (r AvailabilityReport) String() string {
+	return fmt.Sprintf("%.6f (%d outage(s), %d open, MTTR %s, downtime %s)",
+		r.Availability, r.Outages, r.OpenOutages, r.MTTR, r.Downtime)
+}

@@ -1,0 +1,53 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"memnet/internal/sim"
+)
+
+func TestAvailabilityAccounting(t *testing.T) {
+	a := NewAvailability(4)
+	us := func(n int) sim.Time { return sim.Time(sim.Duration(n) * sim.Microsecond) }
+
+	// One clean outage on module 1: 10 µs -> 30 µs.
+	a.Down(1, us(10))
+	a.Down(1, us(15)) // idempotent: the original start wins
+	a.Up(1, us(30))
+	a.Up(1, us(31)) // no-op: already up
+
+	// Module 2 is still down at report time.
+	a.Down(2, us(90))
+
+	r := a.Report(100*sim.Microsecond, us(100))
+	if r.Modules != 4 || r.Outages != 1 || r.OpenOutages != 1 {
+		t.Fatalf("report = %+v, want 1 completed + 1 open outage over 4 modules", r)
+	}
+	if r.MTTR != 20*sim.Microsecond {
+		t.Fatalf("MTTR = %v, want 20us", r.MTTR)
+	}
+	// 20 µs completed + 10 µs open-at-report = 30 µs of module-downtime
+	// over 4 modules × 100 µs.
+	if r.Downtime != 30*sim.Microsecond {
+		t.Fatalf("Downtime = %v, want 30us", r.Downtime)
+	}
+	if want := 1 - 30.0/400.0; r.Availability != want {
+		t.Fatalf("Availability = %v, want %v", r.Availability, want)
+	}
+	if s := r.String(); !strings.Contains(s, "MTTR 20.00us") {
+		t.Fatalf("String() = %q lacks the MTTR", s)
+	}
+}
+
+func TestAvailabilityNoOutages(t *testing.T) {
+	a := NewAvailability(2)
+	r := a.Report(50*sim.Microsecond, sim.Time(sim.Duration(50)*sim.Microsecond))
+	if r.Availability != 1 || r.Outages != 0 || r.OpenOutages != 0 || r.MTTR != 0 || r.Downtime != 0 {
+		t.Fatalf("idle report = %+v, want all-up", r)
+	}
+	// A degenerate window must not divide by zero.
+	if r := a.Report(0, 0); r.Availability != 1 {
+		t.Fatalf("zero-window availability = %v, want 1", r.Availability)
+	}
+}

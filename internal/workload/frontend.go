@@ -86,6 +86,10 @@ type FrontEndFaultStats struct {
 	// LateResponses counts completions that arrived after their request
 	// had already timed out or been superseded (discarded).
 	LateResponses uint64
+	// RecoveredReads counts reads that timed out at least once but whose
+	// retry ultimately returned data — requests the recovery path (link
+	// repair, retraining) saved rather than lost.
+	RecoveredReads uint64
 }
 
 // FrontEnd drives one injection target with one workload profile.
@@ -109,6 +113,7 @@ type FrontEnd struct {
 	writeParked    []int
 
 	onPhase bool
+	stopped bool
 	parked  []int
 
 	issuedReads  uint64
@@ -299,9 +304,18 @@ func (fe *FrontEnd) scheduleBurstCycle() {
 	cycle()
 }
 
+// Stop parks every slot permanently: no further accesses are issued, but
+// in-flight requests and their timeout machinery keep running so the
+// system drains to quiescence. Used by soak tests that need a bounded
+// outstanding set before checking conservation.
+func (fe *FrontEnd) Stop() { fe.stopped = true }
+
 // issue makes slot perform its next access, or parks it during OFF or on
 // write-credit exhaustion.
 func (fe *FrontEnd) issue(slot int) {
+	if fe.stopped {
+		return
+	}
 	if !fe.onPhase {
 		fe.parked = append(fe.parked, slot)
 		return
@@ -418,6 +432,8 @@ func (fe *FrontEnd) HandleReadComplete(p *packet.Packet) {
 	pr.seq++ // disarm the pending deadline
 	if p.Kind.IsError() {
 		fe.faults.ErrorReads++
+	} else if pr.retries > 0 {
+		fe.faults.RecoveredReads++ // a retried read came back with data
 	}
 	fe.completedReads++
 	fe.resume(p.Core)
