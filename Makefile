@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench soak
+.PHONY: all check vet build test race bench soak cover fuzz benchdiff
 
 all: check
 
@@ -36,3 +36,32 @@ soak:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 	$(GO) run ./cmd/memnetsim -sweepbench BENCH_sweep.json
+
+# COVER_FLOOR is the pre-metrics-PR baseline over ./internal/... — the
+# cover gate fails if total statement coverage drops below it. cmd/*
+# packages are excluded: their tests drive compiled subprocesses, which
+# the coverage profiler cannot see.
+COVER_FLOOR ?= 89.8
+
+# cover measures library coverage and enforces the floor.
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out ./internal/...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+	  { echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
+
+# fuzz smoke-runs the committed seed corpora (no fuzzing engine; CI-safe)
+# then fuzzes each target briefly. Lengthen with FUZZTIME=30s.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run Fuzz ./internal/exp ./internal/fault
+	$(GO) test -run='^$$' -fuzz=FuzzLoadBatch -fuzztime=$(FUZZTIME) ./internal/exp
+	$(GO) test -run='^$$' -fuzz=FuzzParseScenario -fuzztime=$(FUZZTIME) ./internal/fault
+
+# benchdiff measures a fresh sweep benchmark and diffs it against the
+# committed BENCH_sweep.json with a tolerance band. Informational in CI
+# (shared runners have noisy clocks); hard-fails locally beyond ±25%.
+benchdiff:
+	$(GO) run ./cmd/memnetsim -sweepbench /tmp/bench_fresh.json
+	$(GO) run ./cmd/benchdiff BENCH_sweep.json /tmp/bench_fresh.json

@@ -1,0 +1,105 @@
+// Command benchdiff compares two BENCH_sweep.json records (see
+// exp.SweepBench) and reports per-metric deltas against a tolerance
+// band, so `make benchdiff` can flag a perf regression between the
+// committed record and a freshly measured one.
+//
+// Throughput metrics (events/sec, speedup) regress when the new value
+// falls more than the tolerance below the old; wall times regress when
+// they grow more than the tolerance above the old. The audit and metrics
+// overhead ratios are additionally held to their absolute <5% budget.
+// Exit status is 1 on any regression — CI runs this non-blocking, so the
+// status is informational there but hard locally.
+//
+// Usage:
+//
+//	benchdiff [-tol 0.25] old.json new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"memnet/internal/exp"
+)
+
+// overheadBudget is the absolute ceiling for the observational
+// subsystems' slowdown, matching the ISSUE acceptance budgets.
+const overheadBudget = 0.05
+
+func load(path string) exp.SweepBench {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	var b exp.SweepBench
+	if err := json.Unmarshal(data, &b); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: parsing %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	return b
+}
+
+func main() {
+	tol := flag.Float64("tol", 0.25,
+		"fractional tolerance band; wall/throughput deltas beyond it count as regressions")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol 0.25] old.json new.json")
+		os.Exit(2)
+	}
+	oldB, newB := load(flag.Arg(0)), load(flag.Arg(1))
+
+	if oldB.Cells != newB.Cells || oldB.Events != newB.Events {
+		fmt.Printf("note: sweeps differ (%d cells / %d events vs %d / %d); comparing rates anyway\n",
+			oldB.Cells, oldB.Events, newB.Cells, newB.Events)
+	}
+
+	// higherBetter metrics regress downward, the rest upward.
+	rows := []struct {
+		name         string
+		old, new     float64
+		higherBetter bool
+		checked      bool // uninformative wall times still print but never fail
+	}{
+		{"events/sec seq", oldB.EventsPerSec.Seq, newB.EventsPerSec.Seq, true, true},
+		{"events/sec par", oldB.EventsPerSec.Par, newB.EventsPerSec.Par, true, true},
+		{"speedup", oldB.Speedup, newB.Speedup, true, true},
+		{"wall seq (s)", oldB.WallSeqSec, newB.WallSeqSec, false, false},
+		{"wall par (s)", oldB.WallParSec, newB.WallParSec, false, false},
+		{"audit overhead", oldB.AuditOverhead, newB.AuditOverhead, false, false},
+		{"metrics overhead", oldB.MetricsOverhead, newB.MetricsOverhead, false, false},
+	}
+	regressed := false
+	fmt.Printf("%-17s %12s %12s %9s\n", "metric", "old", "new", "delta")
+	for _, r := range rows {
+		delta := 0.0
+		if r.old != 0 {
+			delta = r.new/r.old - 1
+		}
+		verdict := ""
+		if r.checked && r.old != 0 {
+			if (r.higherBetter && delta < -*tol) || (!r.higherBetter && delta > *tol) {
+				verdict = "  REGRESSED"
+				regressed = true
+			}
+		}
+		fmt.Printf("%-17s %12.3f %12.3f %+8.1f%%%s\n", r.name, r.old, r.new, 100*delta, verdict)
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{{"audit", newB.AuditOverhead}, {"metrics", newB.MetricsOverhead}} {
+		if c.v > overheadBudget {
+			fmt.Printf("%s overhead %.1f%% exceeds the %.0f%% budget\n", c.name, 100*c.v, 100*overheadBudget)
+			regressed = true
+		}
+	}
+	if regressed {
+		fmt.Println("RESULT: regression beyond tolerance")
+		os.Exit(1)
+	}
+	fmt.Printf("RESULT: within tolerance (±%.0f%%)\n", 100**tol)
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"memnet/internal/exp"
+)
+
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "benchdiff")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func writeBench(t *testing.T, dir, name string, b exp.SweepBench) string {
+	t.Helper()
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func baseBench() exp.SweepBench {
+	b := exp.SweepBench{Cells: 32, Jobs: 4, Events: 1000, WallSeqSec: 4, WallParSec: 2,
+		WallAuditSec: 4.1, AuditOverhead: 0.025, WallMetricsSec: 4.1, MetricsOverhead: 0.025,
+		Speedup: 2}
+	b.EventsPerSec.Seq = 250
+	b.EventsPerSec.Par = 500
+	return b
+}
+
+func TestBenchdiffVerdicts(t *testing.T) {
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	old := writeBench(t, dir, "old.json", baseBench())
+
+	cases := []struct {
+		name     string
+		mutate   func(*exp.SweepBench)
+		wantFail bool
+		wantOut  string
+	}{
+		{"identical", func(b *exp.SweepBench) {}, false, "within tolerance"},
+		{"small drift", func(b *exp.SweepBench) { b.EventsPerSec.Seq = 230 }, false, "within tolerance"},
+		{"throughput collapse", func(b *exp.SweepBench) { b.EventsPerSec.Seq = 100 }, true, "REGRESSED"},
+		{"speedup collapse", func(b *exp.SweepBench) { b.Speedup = 1.0 }, true, "REGRESSED"},
+		{"metrics budget blown", func(b *exp.SweepBench) { b.MetricsOverhead = 0.08 }, true, "exceeds the 5% budget"},
+		{"audit budget blown", func(b *exp.SweepBench) { b.AuditOverhead = 0.07 }, true, "exceeds the 5% budget"},
+		{"wall time is informational", func(b *exp.SweepBench) { b.WallSeqSec = 40 }, false, "within tolerance"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := baseBench()
+			tc.mutate(&b)
+			newPath := writeBench(t, t.TempDir(), "new.json", b)
+			out, err := exec.Command(bin, old, newPath).CombinedOutput()
+			if tc.wantFail && err == nil {
+				t.Errorf("expected nonzero exit\n%s", out)
+			}
+			if !tc.wantFail && err != nil {
+				t.Errorf("unexpected failure: %v\n%s", err, out)
+			}
+			if !strings.Contains(string(out), tc.wantOut) {
+				t.Errorf("output missing %q:\n%s", tc.wantOut, out)
+			}
+		})
+	}
+}
+
+func TestBenchdiffUsageAndBadFiles(t *testing.T) {
+	bin := buildCLI(t)
+	if out, err := exec.Command(bin).CombinedOutput(); err == nil || !strings.Contains(string(out), "usage:") {
+		t.Errorf("no-arg invocation: err=%v out=%s", err, out)
+	}
+	if out, err := exec.Command(bin, "nope.json", "nope2.json").CombinedOutput(); err == nil {
+		t.Errorf("missing files accepted: %s", out)
+	}
+}

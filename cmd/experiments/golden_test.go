@@ -1,0 +1,99 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// update regenerates the golden files from the current binary:
+//
+//	go test ./cmd/experiments -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// checkGolden compares got against testdata/<name>.golden byte-for-byte
+// (the experiments CLI prints no wall-clock timing on these paths),
+// rewriting the file under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("update %s: %v", path, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s (run with -update to create): %v", path, err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s: output differs from golden (regenerate deliberately with -update)\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// TestGoldenOutput locks the default text output byte-for-byte: the
+// experiment list, two light analytic experiments, and one simulating
+// sweep under the parallel executor. The goldens were captured before the
+// metrics subsystem landed, so a pass here also proves the
+// disabled-metrics path leaves output untouched.
+func TestGoldenOutput(t *testing.T) {
+	bin := buildCLI(t)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"list", []string{"-list"}},
+		{"tableI", []string{"-run", "tableI"}},
+		{"fig4", []string{"-run", "fig4"}},
+		{"avail", []string{"-run", "avail", "-simtime", "220us", "-warmup", "20us", "-jobs", "2"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := exec.Command(bin, tc.args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%v: %v\n%s", tc.args, err, out)
+			}
+			checkGolden(t, tc.name, out)
+		})
+	}
+}
+
+// TestMetricsFlagValidation mirrors the memnetsim checks for this CLI's
+// stderr/exit-code error style.
+func TestMetricsFlagValidation(t *testing.T) {
+	bin := buildCLI(t)
+	for name, args := range map[string][]string{
+		"out without metrics":      {"-run", "avail", "-metrics-out", "x.jsonl"},
+		"interval without metrics": {"-run", "avail", "-metrics-interval", "5us"},
+		"unparseable interval":     {"-run", "avail", "-metrics", "-metrics-interval", "bogus"},
+		"zero interval":            {"-run", "avail", "-metrics", "-metrics-interval", "0s"},
+	} {
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err == nil {
+			t.Errorf("%s: accepted\n%s", name, out)
+			continue
+		}
+		if !strings.Contains(string(out), "bad -") {
+			t.Errorf("%s: error does not name the flag:\n%s", name, out)
+		}
+	}
+
+	outPath := filepath.Join(t.TempDir(), "m.csv")
+	out, err := exec.Command(bin, "-run", "avail", "-simtime", "60us", "-warmup", "20us",
+		"-metrics", "-metrics-interval", "20us", "-metrics-out", outPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("valid -metrics run failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "metrics: ") {
+		t.Errorf("-metrics run printed no aggregate time-series figure:\n%s", out)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil || !strings.HasPrefix(string(data), "key,series,kind,tick,time_ps,bucket_le,value") {
+		t.Errorf("-metrics-out CSV export missing or malformed (err=%v):\n%.200s", err, data)
+	}
+}

@@ -15,12 +15,15 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"memnet/internal/audit"
 	"memnet/internal/exp"
 	"memnet/internal/fault"
+	"memnet/internal/metrics"
 	"memnet/internal/sim"
+	"memnet/internal/viz"
 )
 
 func parseDuration(s string) (sim.Duration, error) {
@@ -47,6 +50,11 @@ func main() {
 		"invariant auditor sampling stride (1 = check every observation, 0 = disable)")
 	journalPath := flag.String("journal", "",
 		"append completed cells to this JSON-lines file and resume from it on restart")
+	metricsOn := flag.Bool("metrics", false,
+		"sample epoch-resolution metrics in every cell and print a sweep-aggregate time-series figure")
+	metricsIntervalF := flag.String("metrics-interval", "10us", "metrics sampling period (with -metrics)")
+	metricsOut := flag.String("metrics-out", "",
+		"write per-cell metrics to this file; .csv gets CSV, anything else JSON lines (with -metrics)")
 	flag.Parse()
 
 	if *list || *runName == "" {
@@ -90,6 +98,23 @@ func main() {
 	if *crcRetries < 0 {
 		fmt.Fprintf(os.Stderr, "bad -crcretries: must be non-negative (0 = model default), got %d\n", *crcRetries)
 		os.Exit(1)
+	}
+	if !*metricsOn {
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "metrics-interval" || f.Name == "metrics-out" {
+				fmt.Fprintf(os.Stderr, "bad -%s: requires -metrics\n", f.Name)
+				os.Exit(1)
+			}
+		})
+	} else {
+		if r.Metrics, err = parseDuration(*metricsIntervalF); err != nil {
+			fmt.Fprintf(os.Stderr, "bad -metrics-interval: %v\n", err)
+			os.Exit(1)
+		}
+		if r.Metrics <= 0 {
+			fmt.Fprintf(os.Stderr, "bad -metrics-interval: must be positive, got %s\n", *metricsIntervalF)
+			os.Exit(1)
+		}
 	}
 	if *retrainF != "" {
 		if r.Retrain, err = parseDuration(*retrainF); err != nil {
@@ -145,6 +170,49 @@ func main() {
 		os.Exit(1)
 	}
 
+	// metricsFigure renders the sweep-aggregate time series for the
+	// cells recorded since the last call (one experiment's sweep).
+	seen := 0
+	metricsFigure := func() string {
+		if !*metricsOn {
+			return ""
+		}
+		ents := r.MetricsEntries()[seen:]
+		seen += len(ents)
+		dumps := make([]*metrics.Dump, len(ents))
+		for i, e := range ents {
+			dumps[i] = e.Dump
+		}
+		agg, err := metrics.Merge(dumps...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics merge: %v\n", err)
+			return ""
+		}
+		return viz.RenderTimeSeries(agg)
+	}
+	exportMetrics := func() {
+		if *metricsOut == "" {
+			return
+		}
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -metrics-out: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		ents := r.MetricsEntries()
+		if strings.HasSuffix(*metricsOut, ".csv") {
+			err = metrics.WriteCSV(f, ents)
+		} else {
+			err = metrics.WriteJSONL(f, ents)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *metricsOut, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote metrics for %d cell(s) to %s\n", len(ents), *metricsOut)
+	}
+
 	save := func(name, out string) {
 		if *outDir == "" {
 			return
@@ -166,8 +234,10 @@ func main() {
 			start := time.Now()
 			out := r.Generate(e)
 			fmt.Printf("\n%s\n(%s in %.1fs)\n", out, e.Name, time.Since(start).Seconds())
+			fmt.Print(metricsFigure())
 			save(e.Name, out)
 		}
+		exportMetrics()
 		reportFailures()
 		return
 	}
@@ -179,6 +249,8 @@ func main() {
 	fmt.Println()
 	out := r.Generate(e)
 	fmt.Print(out)
+	fmt.Print(metricsFigure())
 	save(e.Name, out)
+	exportMetrics()
 	reportFailures()
 }

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// update regenerates the golden files from the current binary:
+//
+//	go test ./cmd/memnetsim -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// wallRE scrubs the only nondeterministic tokens in the default output
+// (wall-clock seconds) so goldens compare byte-for-byte.
+var wallRE = regexp.MustCompile(`in \d+\.\d\ds wall`)
+
+func scrubWall(b []byte) []byte {
+	return wallRE.ReplaceAll(b, []byte("in X.XXs wall"))
+}
+
+// checkGolden compares got against testdata/<name>.golden byte-for-byte
+// (after scrubbing), rewriting the file under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	got = scrubWall(got)
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("update %s: %v", path, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s (run with -update to create): %v", path, err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s: output differs from golden (regenerate deliberately with -update)\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// TestGoldenOutput locks the default text output of the CLI byte-for-byte.
+// The goldens were captured before the metrics subsystem landed, so a pass
+// here also proves the disabled-metrics path leaves output untouched.
+func TestGoldenOutput(t *testing.T) {
+	bin := buildCLI(t)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"run_default", []string{"-simtime", "60us", "-warmup", "20us"}},
+		{"run_daisychain", []string{"-wl", "mixA", "-topo", "daisychain", "-mech", "VWL",
+			"-policy", "unaware", "-simtime", "60us", "-warmup", "20us"}},
+		{"batch", []string{"-config", "testdata/batch_config.json", "-jobs", "2"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := exec.Command(bin, tc.args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%v: %v\n%s", tc.args, err, out)
+			}
+			checkGolden(t, tc.name, out)
+		})
+	}
+}
+
+// TestMetricsFlagValidation: metrics flags must be rejected without
+// -metrics or with a bad interval, each naming the offending flag, and a
+// valid -metrics run must print the time-series figure.
+func TestMetricsFlagValidation(t *testing.T) {
+	bin := buildCLI(t)
+	for name, args := range map[string][]string{
+		"out without metrics":      {"-metrics-out", "x.jsonl"},
+		"interval without metrics": {"-metrics-interval", "5us"},
+		"unparseable interval":     {"-metrics", "-metrics-interval", "bogus"},
+		"zero interval":            {"-metrics", "-metrics-interval", "0s"},
+		"metrics with trace":       {"-metrics", "-trace"},
+	} {
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err == nil {
+			t.Errorf("%s: accepted\n%s", name, out)
+			continue
+		}
+		if !strings.Contains(string(out), "bad -") {
+			t.Errorf("%s: error does not name the flag:\n%s", name, out)
+		}
+	}
+
+	outPath := filepath.Join(t.TempDir(), "m.jsonl")
+	out, err := exec.Command(bin, "-metrics", "-metrics-out", outPath,
+		"-simtime", "30us", "-warmup", "10us").CombinedOutput()
+	if err != nil {
+		t.Fatalf("valid -metrics run failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "metrics: ") {
+		t.Errorf("-metrics run printed no time-series figure:\n%s", out)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil || !strings.Contains(string(data), `"series":"frontend.completed"`) {
+		t.Errorf("-metrics-out export missing or incomplete (err=%v):\n%s", err, data)
+	}
+}

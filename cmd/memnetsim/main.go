@@ -13,6 +13,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"memnet/internal/audit"
@@ -20,9 +21,11 @@ import (
 	"memnet/internal/exp"
 	"memnet/internal/fault"
 	"memnet/internal/link"
+	"memnet/internal/metrics"
 	"memnet/internal/network"
 	"memnet/internal/sim"
 	"memnet/internal/topology"
+	"memnet/internal/viz"
 	"memnet/internal/workload"
 )
 
@@ -52,6 +55,11 @@ func main() {
 		"invariant auditor sampling stride (1 = check every observation, 0 = disable)")
 	journalPath := flag.String("journal", "",
 		"with -config: append completed runs to this JSON-lines file and resume from it on restart")
+	metricsOn := flag.Bool("metrics", false,
+		"sample epoch-resolution metrics over the measured interval and print a time-series figure")
+	metricsIntervalF := flag.String("metrics-interval", "10us", "metrics sampling period (with -metrics)")
+	metricsOut := flag.String("metrics-out", "",
+		"write sampled metrics to this file; .csv gets CSV, anything else JSON lines (with -metrics)")
 	flag.Parse()
 
 	if *jobs < 1 {
@@ -83,13 +91,34 @@ func main() {
 	if *alpha < 0 {
 		log.Fatalf("bad -alpha: slowdown factor must be non-negative, got %g", *alpha)
 	}
+	if !*metricsOn {
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "metrics-interval" || f.Name == "metrics-out" {
+				log.Fatalf("bad -%s: requires -metrics", f.Name)
+			}
+		})
+	}
+	var metricsIv sim.Duration
+	if *metricsOn {
+		mi, err := time.ParseDuration(*metricsIntervalF)
+		if err != nil {
+			log.Fatalf("bad -metrics-interval: %v", err)
+		}
+		if mi <= 0 {
+			log.Fatalf("bad -metrics-interval: must be positive, got %s", *metricsIntervalF)
+		}
+		metricsIv = sim.Duration(mi.Nanoseconds()) * sim.Nanosecond
+	}
 
 	if *sweepbench != "" {
+		if *metricsOn {
+			log.Fatalf("bad -metrics: not supported with -sweepbench (it times its own metrics pass)")
+		}
 		runSweepBench(*sweepbench, *jobs)
 		return
 	}
 	if *config != "" {
-		runBatch(*config, *jobs, *auditEvery, *journalPath, retrainDur, *crcRetries)
+		runBatch(*config, *jobs, *auditEvery, *journalPath, retrainDur, *crcRetries, metricsIv, *metricsOut)
 		return
 	}
 
@@ -167,8 +196,12 @@ func main() {
 	}
 	spec.RetrainLatency = retrainDur
 	spec.CRCRetryLimit = *crcRetries
+	spec.MetricsInterval = metricsIv
 
 	if *trace {
+		if *metricsOn {
+			log.Fatalf("bad -metrics: not supported with -trace (the trace is already per-epoch)")
+		}
 		runTrace(spec)
 		return
 	}
@@ -179,6 +212,33 @@ func main() {
 		log.Fatal(err)
 	}
 	report(res, time.Since(start))
+	if *metricsOn {
+		fmt.Print(viz.RenderTimeSeries(res.Metrics))
+		writeMetricsFile(*metricsOut, []metrics.Entry{{Key: spec.Key(), Dump: res.Metrics}})
+	}
+}
+
+// writeMetricsFile exports sampled metrics, picking the format from the
+// file extension (.csv gets CSV, anything else JSON lines). An empty
+// path is a no-op so callers can pass -metrics-out through unchecked.
+func writeMetricsFile(path string, entries []metrics.Entry) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatalf("bad -metrics-out: %v", err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		err = metrics.WriteCSV(f, entries)
+	} else {
+		err = metrics.WriteJSONL(f, entries)
+	}
+	if err != nil {
+		log.Fatalf("write %s: %v", path, err)
+	}
+	fmt.Printf("wrote metrics to %s\n", path)
 }
 
 // runBatch executes every run in a JSON config file across jobs workers;
@@ -186,7 +246,8 @@ func main() {
 // run (audit violation, stall, recovered panic) is reported in place and
 // flips the exit status without aborting the remaining runs; with
 // -journal, completed runs are restored on restart instead of re-run.
-func runBatch(path string, jobs, auditEvery int, journalPath string, retrain sim.Duration, crcRetries int) {
+func runBatch(path string, jobs, auditEvery int, journalPath string, retrain sim.Duration, crcRetries int,
+	metricsIv sim.Duration, metricsOut string) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -210,6 +271,9 @@ func runBatch(path string, jobs, auditEvery int, journalPath string, retrain sim
 		if specs[i].CRCRetryLimit <= 0 {
 			specs[i].CRCRetryLimit = crcRetries
 		}
+		if specs[i].MetricsInterval <= 0 {
+			specs[i].MetricsInterval = metricsIv
+		}
 	}
 	var j *exp.Journal
 	loaded := map[string]exp.Result{}
@@ -226,6 +290,7 @@ func runBatch(path string, jobs, auditEvery int, journalPath string, retrain sim
 	start := time.Now()
 	results, errs := exp.RunSpecsJournaled(specs, jobs, j, loaded)
 	failed := 0
+	var entries []metrics.Entry
 	for i, res := range results {
 		fmt.Printf("--- run %d/%d ---\n", i+1, len(specs))
 		if errs[i] != nil {
@@ -234,7 +299,12 @@ func runBatch(path string, jobs, auditEvery int, journalPath string, retrain sim
 			continue
 		}
 		report(res, 0) // per-run wall time is meaningless under the pool
+		if res.Metrics != nil {
+			fmt.Print(viz.RenderTimeSeries(res.Metrics))
+			entries = append(entries, metrics.Entry{Key: specs[i].Key(), Dump: res.Metrics})
+		}
 	}
+	writeMetricsFile(metricsOut, entries)
 	fmt.Printf("batch: %d runs in %.2fs wall (-jobs %d)\n",
 		len(specs), time.Since(start).Seconds(), jobs)
 	if failed > 0 {

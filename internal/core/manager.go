@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"memnet/internal/link"
+	"memnet/internal/metrics"
 	"memnet/internal/network"
 	"memnet/internal/packet"
 	"memnet/internal/sim"
@@ -200,6 +201,24 @@ func Attach(k *sim.Kernel, net *network.Network, cfg Config) *Manager {
 	m.scheduleEpoch()
 	m.scheduleViolationSweeps()
 	return m
+}
+
+// AttachMetrics registers the management-layer time-series on reg
+// (nil-safe). Slack is Eq. 1's remaining slowdown budget,
+// α·ΣFEL − Σ(AEL−FEL), network-wide: positive means the network may keep
+// saving power, negative means the policy is violating its bound and
+// must force links back to full power. Violations and grants count those
+// slowdown decisions.
+func (m *Manager) AttachMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("core.epoch_slack_ps", func() float64 {
+		return m.Cfg.Alpha*float64(m.CumFELNet) - float64(m.CumOverNet)
+	})
+	reg.Counter("core.epochs", func() float64 { return float64(m.epochs) })
+	reg.Counter("core.violations", func() float64 { return float64(m.violations) })
+	reg.Counter("core.grants", func() float64 { return float64(m.granted) })
 }
 
 // Policy returns the active policy (nil for FP/static).

@@ -287,6 +287,16 @@ func (d *HMCDRAM) Stats() Stats { return d.stats }
 // ROO policy keeps the module's response link on while this is non-zero.
 func (d *HMCDRAM) OutstandingReads() int { return d.outstandingReads }
 
+// QueuedRequests counts requests waiting in vault queues (excluding the
+// one in service per vault) — the metrics sampler's queue-depth probe.
+func (d *HMCDRAM) QueuedRequests() int {
+	total := 0
+	for i := range d.vaults {
+		total += len(d.vaults[i].queue)
+	}
+	return total
+}
+
 // VaultFor maps a physical address to its vault (line-interleaved).
 func (d *HMCDRAM) VaultFor(addr uint64) int {
 	return int((addr / uint64(d.cfg.LineBytes)) % uint64(d.cfg.Vaults))

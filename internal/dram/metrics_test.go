@@ -1,0 +1,33 @@
+package dram
+
+import (
+	"testing"
+)
+
+// TestQueuedRequests: requests behind the one in service per vault count
+// as queued; the probe drains to zero with the queues.
+func TestQueuedRequests(t *testing.T) {
+	k, d := newDRAM(t)
+	if got := d.QueuedRequests(); got != 0 {
+		t.Fatalf("idle QueuedRequests = %d, want 0", got)
+	}
+	// Same address, same vault: one in service, four queued.
+	for i := 0; i < 5; i++ {
+		if !d.Access(0, true, func() {}) {
+			t.Fatalf("access %d rejected", i)
+		}
+	}
+	if got := d.QueuedRequests(); got != 4 {
+		t.Errorf("QueuedRequests = %d, want 4 (5 accesses, 1 in service)", got)
+	}
+	if got := d.OutstandingReads(); got != 5 {
+		t.Errorf("OutstandingReads = %d, want 5", got)
+	}
+	k.RunAll()
+	if got := d.QueuedRequests(); got != 0 {
+		t.Errorf("drained QueuedRequests = %d, want 0", got)
+	}
+	if got := d.OutstandingReads(); got != 0 {
+		t.Errorf("drained OutstandingReads = %d, want 0", got)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"memnet/internal/core"
 	"memnet/internal/fault"
 	"memnet/internal/link"
+	"memnet/internal/metrics"
 	"memnet/internal/network"
 	"memnet/internal/power"
 	"memnet/internal/sim"
@@ -123,6 +124,13 @@ type Spec struct {
 	// from key(): audited and unaudited runs share cache and journal
 	// entries.
 	AuditEvery int
+	// MetricsInterval arms the epoch-resolution metrics sampler over the
+	// measured interval with this sampling period (0 = disabled). The
+	// sampler only reads state, so every measured quantity is unchanged,
+	// but its ticker schedules kernel events — Result.Events grows — so
+	// unlike AuditEvery it participates in key() (appended only when set,
+	// keeping old keys and journals intact).
+	MetricsInterval sim.Duration
 }
 
 // key identifies a spec for memoization. The footprint rides along with
@@ -141,8 +149,15 @@ func (s Spec) key() string {
 	if s.RetrainLatency > 0 || s.CRCRetryLimit > 0 {
 		k += fmt.Sprintf("|rt=%d|crc=%d", s.RetrainLatency, s.CRCRetryLimit)
 	}
+	if s.MetricsInterval > 0 {
+		k += fmt.Sprintf("|m=%d", s.MetricsInterval)
+	}
 	return k
 }
+
+// Key returns the spec's stable identity string — the memoization and
+// journal key — for labeling exported artifacts (metrics dumps).
+func (s Spec) Key() string { return s.key() }
 
 // resolved applies Run's time/wakeup defaults. Fresh results carry the
 // resolved spec, so journal restores resolve too — otherwise a restored
@@ -213,6 +228,10 @@ type Result struct {
 	// TimedOutIDs lists every read attempt that hit its deadline, in
 	// expiry order (the determinism fixture for fault runs).
 	TimedOutIDs []uint64
+	// Metrics is the frozen time-series of a metrics-armed run (nil when
+	// Spec.MetricsInterval is zero). It covers the measured interval:
+	// sampling starts at the warmup boundary.
+	Metrics *metrics.Dump
 }
 
 // IdleIOFraction returns idle I/O power over total network power (Fig. 8).
@@ -274,6 +293,17 @@ func Run(spec Spec) (Result, error) {
 		})
 	}
 
+	// The metrics registry attaches before traffic exists but stays
+	// silent until Start at the warmup boundary: a disabled run (nil
+	// registry) registers nothing and schedules nothing, so its event
+	// sequence is byte-identical to builds without metrics.
+	var reg *metrics.Registry
+	if spec.MetricsInterval > 0 {
+		reg = metrics.New(kernel, metrics.Config{Interval: spec.MetricsInterval})
+		net.AttachMetrics(reg)
+		mgr.AttachMetrics(reg)
+	}
+
 	fcfg := workload.DefaultFrontEndConfig(spec.seed())
 	fcfg.Timeout = spec.RequestTimeout
 	fcfg.MaxRetries = spec.MaxRetries
@@ -281,6 +311,7 @@ func Run(spec Spec) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	fe.AttachMetrics(reg)
 	if aud != nil {
 		// Flit/request conservation across the front-end boundary: every
 		// injected read is either an original issue or a timeout retry, and
@@ -323,6 +354,9 @@ func Run(spec Spec) (Result, error) {
 	snap0 := net.TakeSnapshot()
 	net.LatencyHist().Reset()
 	aud.RunSweeps() // full pass at the warmup boundary (nil-safe)
+	// Metrics cover the measured interval only; starting after the
+	// latency-histogram reset keeps its cumulative pulls monotone.
+	reg.Start(spec.Warmup + spec.SimTime)
 	kernel.Run(spec.Warmup + spec.SimTime)
 	snap1 := net.TakeSnapshot()
 	if dog != nil {
@@ -355,6 +389,7 @@ func Run(spec Spec) (Result, error) {
 	res.FrontEndFaults = fe.FaultStats()
 	res.Availability = net.AvailabilityReport()
 	res.TimedOutIDs = append([]uint64(nil), fe.TimedOutIDs()...)
+	res.Metrics = reg.Dump() // nil when metrics are disabled
 	if inj != nil {
 		res.FaultsInjected = inj.Counts()
 	}
@@ -414,7 +449,16 @@ type Runner struct {
 	// (audit.DefaultSampleEvery), negative disables auditing, positive is
 	// an explicit stride (1 = full rate).
 	Audit int
-	cache map[string]Result
+	// Metrics arms the epoch-resolution sampler on every spec that does
+	// not carry its own interval (0 = off). Dumps of metrics-armed cells
+	// accumulate in first-use order — identical at any Jobs value — and
+	// are read back with MetricsEntries.
+	Metrics sim.Duration
+	cache   map[string]Result
+
+	// metricsLog collects each metrics-armed cell's frozen time-series,
+	// exactly once per distinct cell, in deterministic first-use order.
+	metricsLog []metrics.Entry
 
 	// journal, when attached, persists every fresh result as one JSON
 	// line so an interrupted sweep resumes without recomputation;
@@ -473,8 +517,25 @@ func (r *Runner) normalize(spec Spec) Spec {
 			spec.AuditEvery = r.Audit
 		}
 	}
+	if spec.MetricsInterval <= 0 && r.Metrics > 0 {
+		spec.MetricsInterval = r.Metrics
+	}
 	return spec
 }
+
+// recordMetrics logs a committed cell's time-series for MetricsEntries.
+// Both commit paths — the sequential Run and the pooled Prefetch — call
+// it exactly once per distinct cell, in the generator's first-use order,
+// which is what makes the exported metrics identical at any Jobs value.
+func (r *Runner) recordMetrics(key string, res Result) {
+	if res.Metrics != nil {
+		r.metricsLog = append(r.metricsLog, metrics.Entry{Key: key, Dump: res.Metrics})
+	}
+}
+
+// MetricsEntries returns the frozen time-series of every metrics-armed
+// cell committed so far, in deterministic first-use order.
+func (r *Runner) MetricsEntries() []metrics.Entry { return r.metricsLog }
 
 // Run executes (or recalls) a spec with the runner's time settings.
 func (r *Runner) Run(spec Spec) Result {
@@ -497,6 +558,7 @@ func (r *Runner) Run(spec Spec) Result {
 			r.Progress(fmt.Sprintf("restored %s from journal", k))
 		}
 		r.cache[k] = res
+		r.recordMetrics(k, res)
 		return res
 	}
 	res, err := runCell(spec)
@@ -521,6 +583,7 @@ func (r *Runner) Run(spec Spec) Result {
 		}
 	}
 	r.cache[k] = res
+	r.recordMetrics(k, res)
 	return res
 }
 

@@ -75,6 +75,7 @@ func (r *Runner) Prefetch(specs []Spec) {
 				r.Progress(fmt.Sprintf("restored %s from journal", k))
 			}
 			r.cache[k] = res
+			r.recordMetrics(k, res)
 			continue
 		}
 		todo = append(todo, s)
@@ -94,6 +95,7 @@ func (r *Runner) Prefetch(specs []Spec) {
 			continue
 		}
 		r.cache[k] = res
+		r.recordMetrics(k, res)
 		if r.Progress != nil {
 			r.Progress(fmt.Sprintf("ran %s (%.1fM events)", k, float64(res.Events)/1e6))
 		}

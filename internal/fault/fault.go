@@ -10,6 +10,7 @@
 package fault
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -43,9 +44,12 @@ func (d *Duration) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
-// MarshalJSON implements json.Marshaler.
+// MarshalJSON emits the integer-picosecond form. The pretty string form
+// ("10.00us") is lossy and — below a nanosecond — not even parseable by
+// UnmarshalJSON, so encoding a scenario and parsing it back would change
+// it; picoseconds round-trip exactly, which Key() depends on.
 func (d Duration) MarshalJSON() ([]byte, error) {
-	return json.Marshal(sim.Duration(d).String())
+	return json.Marshal(int64(d))
 }
 
 // Kind identifies a fault event type.
@@ -106,7 +110,9 @@ type Scenario struct {
 // ParseScenario decodes a JSON scenario, rejecting unknown fields.
 func ParseScenario(data []byte) (Scenario, error) {
 	var sc Scenario
-	if err := json.Unmarshal(data, &sc); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
 		return Scenario{}, fmt.Errorf("fault: parsing scenario: %w", err)
 	}
 	return sc, nil

@@ -1,0 +1,54 @@
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseScenario: any byte string either fails to parse with an error
+// (never a panic), or parses to a scenario whose own JSON encoding is a
+// fixed point — encode, re-parse, re-encode must give identical bytes
+// and an identical Key(). That fixed point is what makes scenario keys
+// safe as journal/memo identities.
+func FuzzParseScenario(f *testing.F) {
+	for _, seed := range []string{
+		`{}`,
+		`{"seed":7,"events":[]}`,
+		`{"seed":1,"events":[{"at":"50us","kind":"link-fail","link":3}]}`,
+		`{"seed":2,"events":[{"at":"10us","kind":"corrupt-burst","link":-1,"duration":"2us","ber":0.001}]}`,
+		`{"seed":3,"events":[{"at":123,"kind":"wake-fault","link":0,"drop":true},` +
+			`{"at":"80us","kind":"module-repair","module":1}]}`,
+		`{"seed":4,"events":[{"at":"1us","kind":"vault-stall","module":-1,"duration":999}]}`,
+		`{"events":[{"at":"bogus","kind":"link-fail"}]}`,
+		`{"unknown_field":1}`,
+		`[]`,
+		`{"seed":`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := ParseScenario(data)
+		if err != nil {
+			return
+		}
+		enc, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("parsed scenario does not re-encode: %v", err)
+		}
+		back, err := ParseScenario(enc)
+		if err != nil {
+			t.Fatalf("own encoding does not re-parse: %v\n%s", err, enc)
+		}
+		enc2, err := json.Marshal(back)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Errorf("encoding is not a fixed point:\n%s\nvs\n%s", enc, enc2)
+		}
+		if sc.Key() != back.Key() {
+			t.Errorf("Key changed across a round trip: %q vs %q", sc.Key(), back.Key())
+		}
+	})
+}

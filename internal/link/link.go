@@ -46,6 +46,9 @@ const (
 	// at full power but delivers no bandwidth; enqueued packets buffer
 	// until training completes.
 	StateRetraining
+
+	// NumStates sizes per-state arrays (residency accounting).
+	NumStates = int(StateRetraining) + 1
 )
 
 // String implements fmt.Stringer.
@@ -170,10 +173,14 @@ type Link struct {
 	energyIdle   float64 // joules
 	energyActive float64
 	totalBusy    sim.Duration
-	bytes        uint64
-	maxQueue     int
-	overflows    uint64
-	retries      uint64
+	// stateTime is the cumulative residency per power state over the
+	// whole run (unlike the per-epoch Monitors counters, never reset);
+	// the metrics sampler reads it through StateTimes.
+	stateTime [NumStates]sim.Duration
+	bytes     uint64
+	maxQueue  int
+	overflows uint64
+	retries   uint64
 
 	errRNG *sim.RNG
 
@@ -527,6 +534,7 @@ func (l *Link) account(now sim.Time) {
 		l.energyIdle += joules
 	}
 	l.mon.epoch.TimeInBWMode[l.effBWLabel(now)] += d
+	l.stateTime[l.state] += d
 	switch l.state {
 	case StateOff:
 		l.mon.epoch.OffTime += d
@@ -536,6 +544,20 @@ func (l *Link) account(now sim.Time) {
 		l.mon.epoch.RetrainTime += d
 	}
 	l.lastAccount = now
+}
+
+// StateTimes returns the cumulative per-state residency including the
+// still-open interval since the last state change. Read-only: unlike
+// account it does not advance the integrator, so sampling it cannot
+// perturb energy accounting (currentWatts is evaluated at integration
+// time, and integration instants stay exactly the set the simulation
+// itself produces).
+func (l *Link) StateTimes(now sim.Time) [NumStates]sim.Duration {
+	st := l.stateTime
+	if d := now - l.lastAccount; d > 0 {
+		st[l.state] += d
+	}
+	return st
 }
 
 // Enqueue accepts a packet into the link buffer (reads ahead of writes)

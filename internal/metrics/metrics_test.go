@@ -1,0 +1,271 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+
+	"memnet/internal/sim"
+)
+
+// tickerFixture builds a registry over a live kernel with one counter,
+// one gauge and one 3-bucket histogram driven by plain variables.
+type tickerFixture struct {
+	kernel *sim.Kernel
+	reg    *Registry
+	cum    float64
+	gauge  float64
+	hist   [3]uint64
+}
+
+func newFixture(cfg Config) *tickerFixture {
+	f := &tickerFixture{kernel: sim.NewKernel()}
+	f.reg = New(f.kernel, cfg)
+	f.reg.Counter("c", func() float64 { return f.cum })
+	f.reg.Gauge("g", func() float64 { return f.gauge })
+	f.reg.HistogramSeries("h", []float64{10, 100, 1000}, func(cum []uint64) {
+		copy(cum, f.hist[:])
+	})
+	return f
+}
+
+func TestTickerSamplesAtFixedTimes(t *testing.T) {
+	f := newFixture(Config{Interval: 10 * sim.Microsecond})
+	until := sim.Time(55 * sim.Microsecond)
+	// Drive the instrumented values from kernel events between ticks.
+	for i := 1; i <= 5; i++ {
+		i := i
+		f.kernel.Schedule(sim.Time(i*10-5)*sim.Time(sim.Microsecond), func() {
+			f.cum += float64(i) // counter delta i in tick i
+			f.gauge = float64(10 * i)
+			f.hist[i%3]++
+		})
+	}
+	f.reg.Start(until)
+	f.kernel.Run(until)
+
+	d := f.reg.Dump()
+	if d.Ticks != 5 || d.Dropped != 0 {
+		t.Fatalf("ticks=%d dropped=%d, want 5/0", d.Ticks, d.Dropped)
+	}
+	wantC := []float64{1, 2, 3, 4, 5}
+	if !reflect.DeepEqual(d.Series[0].Samples, wantC) {
+		t.Errorf("counter deltas = %v, want %v", d.Series[0].Samples, wantC)
+	}
+	wantG := []float64{10, 20, 30, 40, 50}
+	if !reflect.DeepEqual(d.Series[1].Samples, wantG) {
+		t.Errorf("gauge samples = %v, want %v", d.Series[1].Samples, wantG)
+	}
+	wantH := [][]uint64{{0, 1, 0}, {0, 0, 1}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	if !reflect.DeepEqual(d.Series[2].Hist, wantH) {
+		t.Errorf("hist deltas = %v, want %v", d.Series[2].Hist, wantH)
+	}
+}
+
+// TestStartBaseline: counters that advanced before Start (warmup) must
+// not leak into the first tick's delta.
+func TestStartBaseline(t *testing.T) {
+	f := newFixture(Config{Interval: sim.Duration(sim.Microsecond)})
+	f.cum = 1000
+	f.hist[0] = 7
+	f.reg.Start(sim.Time(2 * sim.Microsecond))
+	f.kernel.Run(sim.Time(2 * sim.Microsecond))
+	d := f.reg.Dump()
+	if got := d.Series[0].Samples[0]; got != 0 {
+		t.Errorf("first counter delta = %g, want 0 (pre-Start cum excluded)", got)
+	}
+	if got := d.Series[2].Hist[0][0]; got != 0 {
+		t.Errorf("first hist delta = %d, want 0", got)
+	}
+}
+
+// TestRingWraparound: table-driven coverage of the ring keeping exactly
+// the last Capacity samples with Dropped accounting the rest.
+func TestRingWraparound(t *testing.T) {
+	cases := []struct {
+		name        string
+		capacity    int
+		ticks       int
+		wantKept    int
+		wantDropped int
+		wantFirst   float64 // oldest retained counter delta (deltas are 1,2,3,…)
+	}{
+		{"under capacity", 8, 5, 5, 0, 1},
+		{"exactly full", 8, 8, 8, 0, 1},
+		{"wrap by one", 8, 9, 8, 1, 2},
+		{"wrap full cycle", 4, 8, 4, 4, 5},
+		{"wrap many", 4, 11, 4, 7, 8},
+		{"capacity one", 1, 6, 1, 5, 6},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := newFixture(Config{Interval: sim.Duration(sim.Microsecond), Capacity: tc.capacity})
+			for i := 1; i <= tc.ticks; i++ {
+				i := i
+				f.kernel.Schedule(sim.Time(i)*sim.Time(sim.Microsecond)-1, func() {
+					f.cum += float64(i)
+					f.hist[0] += uint64(i)
+				})
+			}
+			until := sim.Time(tc.ticks) * sim.Time(sim.Microsecond)
+			f.reg.Start(until)
+			f.kernel.Run(until)
+			d := f.reg.Dump()
+			if d.Ticks != tc.ticks || d.Dropped != tc.wantDropped {
+				t.Fatalf("ticks=%d dropped=%d, want %d/%d", d.Ticks, d.Dropped, tc.ticks, tc.wantDropped)
+			}
+			got := d.Series[0].Samples
+			if len(got) != tc.wantKept {
+				t.Fatalf("kept %d samples, want %d", len(got), tc.wantKept)
+			}
+			if got[0] != tc.wantFirst {
+				t.Errorf("oldest retained delta = %g, want %g", got[0], tc.wantFirst)
+			}
+			// Chronological order: deltas must ascend by exactly 1.
+			for j := 1; j < len(got); j++ {
+				if got[j] != got[j-1]+1 {
+					t.Errorf("samples not chronological at %d: %v", j, got)
+					break
+				}
+			}
+			// Histogram ring wraps in lockstep with the scalar ring.
+			h := d.Series[2].Hist
+			if len(h) != tc.wantKept {
+				t.Fatalf("hist kept %d rows, want %d", len(h), tc.wantKept)
+			}
+			if h[0][0] != uint64(tc.wantFirst) {
+				t.Errorf("oldest hist delta = %d, want %g", h[0][0], tc.wantFirst)
+			}
+		})
+	}
+}
+
+// TestMerge: table-driven coverage of the deterministic cross-cell merge.
+func TestMerge(t *testing.T) {
+	mk := func(ticks int, scale float64) *Dump {
+		d := &Dump{Interval: sim.Duration(sim.Microsecond), Ticks: ticks, Series: []SeriesDump{
+			{Name: "c", Kind: "counter"},
+			{Name: "h", Kind: "histogram", Bounds: []float64{1, 2}},
+		}}
+		for j := 1; j <= ticks; j++ {
+			d.Series[0].Samples = append(d.Series[0].Samples, scale*float64(j))
+			d.Series[1].Hist = append(d.Series[1].Hist, []uint64{uint64(j), uint64(scale)})
+		}
+		return d
+	}
+	t.Run("element-wise sum", func(t *testing.T) {
+		m, err := Merge(mk(3, 1), mk(3, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []float64{11, 22, 33}
+		if !reflect.DeepEqual(m.Series[0].Samples, want) {
+			t.Errorf("merged samples = %v, want %v", m.Series[0].Samples, want)
+		}
+		wantH := [][]uint64{{2, 11}, {4, 11}, {6, 11}}
+		if !reflect.DeepEqual(m.Series[1].Hist, wantH) {
+			t.Errorf("merged hist = %v, want %v", m.Series[1].Hist, wantH)
+		}
+	})
+	t.Run("length mismatch zero-pads", func(t *testing.T) {
+		m, err := Merge(mk(2, 1), mk(4, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []float64{2, 4, 3, 4}
+		if !reflect.DeepEqual(m.Series[0].Samples, want) {
+			t.Errorf("merged samples = %v, want %v", m.Series[0].Samples, want)
+		}
+		if m.Ticks != 4 {
+			t.Errorf("merged ticks = %d, want 4", m.Ticks)
+		}
+	})
+	t.Run("nil dumps skipped", func(t *testing.T) {
+		m, err := Merge(nil, mk(1, 1), nil)
+		if err != nil || m == nil || m.Series[0].Samples[0] != 1 {
+			t.Errorf("merge with nils = %v, %v", m, err)
+		}
+		if m2, err := Merge(nil, nil); m2 != nil || err != nil {
+			t.Errorf("all-nil merge = %v, %v, want nil, nil", m2, err)
+		}
+	})
+	t.Run("schema mismatch rejected", func(t *testing.T) {
+		bad := mk(1, 1)
+		bad.Series[0].Name = "other"
+		if _, err := Merge(mk(1, 1), bad); err == nil {
+			t.Error("mismatched series name accepted")
+		}
+		short := mk(1, 1)
+		short.Series = short.Series[:1]
+		if _, err := Merge(mk(1, 1), short); err == nil {
+			t.Error("mismatched series count accepted")
+		}
+		iv := mk(1, 1)
+		iv.Interval *= 2
+		if _, err := Merge(mk(1, 1), iv); err == nil {
+			t.Error("mismatched interval accepted")
+		}
+	})
+	t.Run("argument order is the sum order", func(t *testing.T) {
+		// Same multiset of dumps, same order => identical bits. This is
+		// the property the sweep exporter relies on for -jobs N
+		// determinism (it always merges in sweep order).
+		a, _ := Merge(mk(2, 0.1), mk(2, 0.3), mk(2, 0.7))
+		b, _ := Merge(mk(2, 0.1), mk(2, 0.3), mk(2, 0.7))
+		if !reflect.DeepEqual(a, b) {
+			t.Error("repeated merge not bit-identical")
+		}
+	})
+}
+
+// TestNilRegistryInert: the disabled path must be safe and silent.
+func TestNilRegistryInert(t *testing.T) {
+	var r *Registry
+	r.Counter("c", nil)
+	r.Gauge("g", nil)
+	r.HistogramSeries("h", []float64{1}, nil)
+	r.Start(100)
+	r.Observe()
+	if r.Dump() != nil || r.Ticks() != 0 || r.Interval() != 0 {
+		t.Error("nil registry not inert")
+	}
+}
+
+func TestDuplicateAndLateRegistrationPanic(t *testing.T) {
+	f := newFixture(Config{})
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("duplicate", func() { f.reg.Counter("c", func() float64 { return 0 }) })
+	f.reg.Start(sim.Time(sim.Microsecond))
+	mustPanic("late registration", func() { f.reg.Gauge("late", func() float64 { return 0 }) })
+}
+
+// TestObserveZeroAllocs pins the allocation-free sampling budget: the
+// rings are preallocated at Start, so a tick allocates nothing.
+func TestObserveZeroAllocs(t *testing.T) {
+	f := newFixture(Config{Interval: sim.Duration(sim.Microsecond), Capacity: 16})
+	f.reg.Start(1 << 40)
+	allocs := testing.AllocsPerRun(100, func() {
+		f.cum++
+		f.hist[1]++
+		f.reg.Observe()
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %.1f objects/tick, want 0", allocs)
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	f := newFixture(Config{Interval: sim.Duration(sim.Microsecond), Capacity: 1024})
+	f.reg.Start(1 << 40)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.cum++
+		f.reg.Observe()
+	}
+}

@@ -730,8 +730,8 @@ type FaultStats struct {
 	Dropped       uint64 // packets dropped or stranded by failed links
 	RoutingErrors uint64 // unroutable packets (would have panicked before)
 	FailedLinks   int
-	FailLatSum    sim.Duration // issue-to-error-completion latency of failed reads
-	RepairedLinks uint64       // links retrained back into service after a failure
+	FailLatSum    sim.Duration         // issue-to-error-completion latency of failed reads
+	RepairedLinks uint64               // links retrained back into service after a failure
 	Escalations   link.EscalationStats // CRC retry-ladder actions summed over links
 }
 

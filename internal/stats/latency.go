@@ -91,6 +91,17 @@ func (h *LatencyHist) Percentile(p float64) sim.Duration {
 // Reset clears the histogram (e.g., at the end of warmup).
 func (h *LatencyHist) Reset() { *h = LatencyHist{} }
 
+// NumBuckets is the fixed bucket count of a LatencyHist.
+const NumBuckets = 64
+
+// CopyBuckets writes the cumulative per-bucket counts into dst (at most
+// NumBuckets entries). Bucket i counts samples whose picosecond value
+// has bit length i, i.e. values ≤ 2^i − 1. The metrics sampler pulls
+// these to build per-interval latency distributions.
+func (h *LatencyHist) CopyBuckets(dst []uint64) {
+	copy(dst, h.buckets[:])
+}
+
 // String summarizes the distribution.
 func (h *LatencyHist) String() string {
 	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",

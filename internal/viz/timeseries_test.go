@@ -1,0 +1,74 @@
+package viz
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"memnet/internal/metrics"
+	"memnet/internal/sim"
+)
+
+func TestRenderTimeSeries(t *testing.T) {
+	d := &metrics.Dump{
+		Interval: 10 * sim.Microsecond,
+		Ticks:    4,
+		Series: []metrics.SeriesDump{
+			{Name: "frontend.completed", Kind: "counter", Samples: []float64{10, 20, 30, 40}},
+			{Name: "network.in_flight", Kind: "gauge", Samples: []float64{5, 5, 5, 5}},
+			{Name: "lat", Kind: "histogram", Bounds: []float64{1, 2},
+				Hist: [][]uint64{{1, 1}, {0, 3}, {2, 0}, {0, 0}}},
+		},
+	}
+	out := RenderTimeSeries(d)
+	if !strings.Contains(out, "4 ticks x 10.00us") {
+		t.Errorf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "min=10 mean=25 max=40 last=40") {
+		t.Errorf("counter stats wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "min=0 mean=1.75 max=3 last=0 (observations/tick)") {
+		t.Errorf("histogram totals wrong:\n%s", out)
+	}
+	// Every series line carries a sparkline rune.
+	for _, name := range []string{"frontend.completed", "network.in_flight", "lat"} {
+		line := ""
+		for _, l := range strings.Split(out, "\n") {
+			if strings.Contains(l, name) {
+				line = l
+			}
+		}
+		if !strings.ContainsAny(line, "▁▂▃▄▅▆▇█") {
+			t.Errorf("series %s has no sparkline: %q", name, line)
+		}
+	}
+}
+
+func TestRenderTimeSeriesEmpty(t *testing.T) {
+	for _, d := range []*metrics.Dump{nil, {Interval: 1}} {
+		out := RenderTimeSeries(d)
+		if !strings.Contains(out, "no samples") {
+			t.Errorf("empty dump rendered %q", out)
+		}
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	cases := []struct {
+		name  string
+		in    []float64
+		width int
+		want  []float64
+	}{
+		{"short passthrough", []float64{1, 2, 3}, 60, []float64{1, 2, 3}},
+		{"exact fit", []float64{1, 2}, 2, []float64{1, 2}},
+		{"halving", []float64{1, 3, 5, 7}, 2, []float64{2, 6}},
+		{"ragged tail", []float64{2, 4, 6, 8, 10}, 3, []float64{3, 7, 10}},
+		{"zero width", []float64{1, 2}, 0, []float64{1, 2}},
+	}
+	for _, tc := range cases {
+		if got := downsample(tc.in, tc.width); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: downsample = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"memnet/internal/link"
+	"memnet/internal/metrics"
 	"memnet/internal/network"
 	"memnet/internal/packet"
 	"memnet/internal/sim"
@@ -481,6 +482,19 @@ func (fe *FrontEnd) Outstanding() int {
 // resolution all count) — the watchdog's progress probe.
 func (fe *FrontEnd) Progress() uint64 {
 	return fe.completedReads + fe.completedWrites
+}
+
+// AttachMetrics registers the front end's issue/complete time-series on
+// reg (nil-safe: a nil registry registers nothing). Issue and completion
+// counters export as per-interval deltas, i.e. rates × interval.
+func (fe *FrontEnd) AttachMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("frontend.issued_reads", func() float64 { return float64(fe.issuedReads) })
+	reg.Counter("frontend.issued_writes", func() float64 { return float64(fe.issuedWrites) })
+	reg.Counter("frontend.completed", func() float64 { return float64(fe.Progress()) })
+	reg.Gauge("frontend.outstanding", func() float64 { return float64(fe.Outstanding()) })
 }
 
 // FaultStats returns the timeout machinery's counters.
