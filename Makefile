@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench soak cover fuzz benchdiff
+.PHONY: all check vet build test race bench soak cover fuzz benchdiff distsmoke
 
 all: check
 
@@ -23,12 +23,21 @@ test:
 race:
 	$(GO) test -race ./...
 
-# soak runs the deterministic chaos campaign under the race detector:
+# soak runs the deterministic chaos campaigns under the race detector:
 # seeded random fail/burst/wake-fault/stall + repair schedules across all
-# four topologies, full-rate audited, with byte-identical replays
-# required per seed. Widen the campaign with MEMNET_SOAK_SEEDS=1,2,...,N.
+# four topologies (byte-identical replays required per seed), plus the
+# distributed churn soak (seeded worker kills mid-sweep, byte-identical
+# merged journal required). Widen with MEMNET_SOAK_SEEDS=1,2,...,N.
 soak:
 	$(GO) test -race -count=1 -run TestChaosSoak ./internal/fault/
+	$(GO) test -race -count=1 -run TestChurnSoak ./internal/dist/
+
+# distsmoke runs the real-process distributed sweep check: a coordinator,
+# two workers, one SIGKILLed mid-sweep and replaced, requiring the merged
+# journal, stdout, and figure files to match a single-process run byte
+# for byte.
+distsmoke:
+	$(GO) test -count=1 -run TestDistributedSmoke ./cmd/experiments/
 
 # bench regenerates the paper-shaped testing.B benchmarks and writes the
 # machine-readable sweep-executor record (events/sec, wall time, speedup)
@@ -55,13 +64,17 @@ cover:
 # then fuzzes each target briefly. Lengthen with FUZZTIME=30s.
 FUZZTIME ?= 10s
 fuzz:
-	$(GO) test -run Fuzz ./internal/exp ./internal/fault
+	$(GO) test -run Fuzz ./internal/exp ./internal/fault ./internal/dist
 	$(GO) test -run='^$$' -fuzz=FuzzLoadBatch -fuzztime=$(FUZZTIME) ./internal/exp
 	$(GO) test -run='^$$' -fuzz=FuzzParseScenario -fuzztime=$(FUZZTIME) ./internal/fault
+	$(GO) test -run='^$$' -fuzz='FuzzWire$$' -fuzztime=$(FUZZTIME) ./internal/dist
+	$(GO) test -run='^$$' -fuzz=FuzzWireRequests -fuzztime=$(FUZZTIME) ./internal/dist
 
 # benchdiff measures a fresh sweep benchmark and diffs it against the
-# committed BENCH_sweep.json with a tolerance band. Informational in CI
-# (shared runners have noisy clocks); hard-fails locally beyond ±25%.
+# committed BENCH_sweep.json with a tolerance band; it hard-fails beyond
+# the band. CI runs it blocking with a widened BENCHDIFF_TOL to absorb
+# shared-runner clock noise while still catching real regressions.
+BENCHDIFF_TOL ?= 0.25
 benchdiff:
 	$(GO) run ./cmd/memnetsim -sweepbench /tmp/bench_fresh.json
-	$(GO) run ./cmd/benchdiff BENCH_sweep.json /tmp/bench_fresh.json
+	$(GO) run ./cmd/benchdiff -tol $(BENCHDIFF_TOL) BENCH_sweep.json /tmp/bench_fresh.json

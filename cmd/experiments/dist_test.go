@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDistributedSmoke is the real-process churn check behind the
+// `make distsmoke` CI step: a coordinator serving the avail sweep (which
+// includes fault-scenario cells), two workers, one of them SIGKILLed
+// mid-sweep, and a replacement joining afterwards. The coordinator's
+// stdout, journal, and rendered figure files must be byte-identical to a
+// single-process -jobs 1 run of the same sweep.
+func TestDistributedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed smoke skipped in -short mode")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	args := func(extra ...string) []string {
+		return append([]string{"-run", "avail", "-simtime", "220us", "-warmup", "20us"}, extra...)
+	}
+
+	// Single-process reference.
+	refOut, err := exec.Command(bin, args("-jobs", "1",
+		"-journal", filepath.Join(dir, "ref.jsonl"), "-outdir", filepath.Join(dir, "ref"))...).Output()
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	// Coordinator on an ephemeral port; its stderr announces the address
+	// and every lease grant.
+	coord := exec.CommandContext(ctx, bin, args("-coordinator", "127.0.0.1:0", "-lease", "1s",
+		"-journal", filepath.Join(dir, "dist.jsonl"), "-outdir", filepath.Join(dir, "dist"))...)
+	var coordOut bytes.Buffer
+	coord.Stdout = &coordOut
+	stderr, err := coord.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Process.Kill()
+
+	// Scan coordinator stderr: first for the resolved address, then for
+	// lease grants (to time the kill), keeping a transcript for failures.
+	addrCh := make(chan string, 1)
+	leaseCh := make(chan string, 64)
+	var coordErr bytes.Buffer
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		addrRe := regexp.MustCompile(`listening on (http://\S+)`)
+		leaseRe := regexp.MustCompile(`leased cell \d+ \(.*\) to (\S+)`)
+		for sc.Scan() {
+			line := sc.Text()
+			coordErr.WriteString(line + "\n")
+			if m := addrRe.FindStringSubmatch(line); m != nil {
+				addrCh <- m[1]
+			}
+			if m := leaseRe.FindStringSubmatch(line); m != nil {
+				select {
+				case leaseCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	var coordURL string
+	select {
+	case coordURL = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("coordinator never announced its address:\n%s", coordErr.String())
+	}
+
+	startWorker := func(name string) *exec.Cmd {
+		w := exec.CommandContext(ctx, bin, "-worker", coordURL)
+		w.Stdout = os.Stderr
+		w.Stderr = os.Stderr
+		if err := w.Start(); err != nil {
+			t.Fatalf("start %s: %v", name, err)
+		}
+		return w
+	}
+	victim := startWorker("victim")
+	victimName := fmt.Sprintf("worker-%d", victim.Process.Pid)
+	survivor := startWorker("survivor")
+	defer survivor.Process.Kill()
+
+	// SIGKILL the victim once it holds a lease — its cell dies mid-run,
+	// the lease expires, and the cell is reassigned.
+	killed := false
+	deadline := time.After(60 * time.Second)
+	for !killed {
+		select {
+		case owner := <-leaseCh:
+			if owner == victimName {
+				victim.Process.Kill()
+				victim.Wait()
+				killed = true
+			}
+		case <-deadline:
+			t.Fatalf("victim %s never got a lease:\n%s", victimName, coordErr.String())
+		}
+	}
+	replacement := startWorker("replacement")
+	defer replacement.Process.Kill()
+
+	if err := coord.Wait(); err != nil {
+		t.Fatalf("coordinator exited non-zero: %v\nstderr:\n%s", err, coordErr.String())
+	}
+	if err := survivor.Wait(); err != nil {
+		t.Errorf("survivor worker exited non-zero: %v", err)
+	}
+	if err := replacement.Wait(); err != nil {
+		t.Errorf("replacement worker exited non-zero: %v", err)
+	}
+	if !strings.Contains(coordErr.String(), "expired") {
+		t.Errorf("kill did not bite: no lease expiry in coordinator log:\n%s", coordErr.String())
+	}
+
+	// Byte-identical merge: stdout, journal, and figure files.
+	if got := coordOut.String(); got != string(refOut) {
+		t.Errorf("distributed stdout differs from single-process run\n--- single ---\n%s--- distributed ---\n%s", refOut, got)
+	}
+	ref, err := os.ReadFile(filepath.Join(dir, "ref.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "dist.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ref, got) {
+		t.Errorf("distributed journal differs from single-process run")
+	}
+	refFig, err := os.ReadFile(filepath.Join(dir, "ref", "avail.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFig, err := os.ReadFile(filepath.Join(dir, "dist", "avail.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refFig, gotFig) {
+		t.Errorf("rendered figure differs:\n--- single ---\n%s--- distributed ---\n%s", refFig, gotFig)
+	}
+}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"memnet/internal/audit"
+	"memnet/internal/dist"
 	"memnet/internal/exp"
 	"memnet/internal/fault"
 	"memnet/internal/metrics"
@@ -55,7 +57,42 @@ func main() {
 	metricsIntervalF := flag.String("metrics-interval", "10us", "metrics sampling period (with -metrics)")
 	metricsOut := flag.String("metrics-out", "",
 		"write per-cell metrics to this file; .csv gets CSV, anything else JSON lines (with -metrics)")
+	coordAddr := flag.String("coordinator", "",
+		"serve every experiment's sweep to distributed workers on this address (e.g. :9731) instead of running locally")
+	workerURL := flag.String("worker", "",
+		"run as a sweep worker against this coordinator URL (e.g. http://host:9731); -journal becomes the local salvage journal")
+	leaseF := flag.String("lease", "", "coordinator lease TTL granted to workers (default 10s)")
 	flag.Parse()
+
+	lease := dist.DefaultLeaseTTL
+	if *leaseF != "" {
+		d, err := time.ParseDuration(*leaseF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -lease: %v\n", err)
+			os.Exit(1)
+		}
+		if d <= 0 {
+			fmt.Fprintf(os.Stderr, "bad -lease: must be positive, got %s\n", *leaseF)
+			os.Exit(1)
+		}
+		lease = d
+	}
+	if *leaseF != "" && *coordAddr == "" {
+		fmt.Fprintf(os.Stderr, "bad -lease: requires -coordinator\n")
+		os.Exit(1)
+	}
+	if *workerURL != "" {
+		if *coordAddr != "" || *runName != "" {
+			fmt.Fprintf(os.Stderr, "bad -worker: mutually exclusive with -coordinator and -run\n")
+			os.Exit(1)
+		}
+		runWorkerMode(*workerURL, *journalPath)
+		return
+	}
+	if *coordAddr != "" && *runName == "" {
+		fmt.Fprintf(os.Stderr, "bad -coordinator: requires -run (it serves a sweep)\n")
+		os.Exit(1)
+	}
 
 	if *list || *runName == "" {
 		fmt.Println("experiments:")
@@ -144,6 +181,8 @@ func main() {
 		}
 		r.Faults = sc
 	}
+	var journal *exp.Journal
+	var journalLoaded map[string]exp.Result
 	if *journalPath != "" {
 		j, loaded, err := exp.OpenJournal(*journalPath)
 		if err != nil {
@@ -154,7 +193,28 @@ func main() {
 		if len(loaded) > 0 {
 			fmt.Fprintf(os.Stderr, "journal: resuming with %d completed cell(s) from %s\n", len(loaded), *journalPath)
 		}
-		r.AttachJournal(j, loaded)
+		journal, journalLoaded = j, loaded
+	}
+	// In coordinator mode the coordinator owns the journal (cells are
+	// restored and appended at the merge point); locally the runner does.
+	var dc *distCoordinator
+	if *coordAddr != "" {
+		dc = startCoordinator(*coordAddr, lease, journal, journalLoaded)
+		defer dc.close()
+	} else if journal != nil {
+		r.AttachJournal(journal, journalLoaded)
+	}
+	// generate renders one experiment, fanning its cells across the local
+	// pool or, in coordinator mode, the connected workers.
+	generate := func(e exp.Experiment) string {
+		if dc == nil {
+			return r.Generate(e)
+		}
+		if todo := r.Uncached(r.Collect(e.Run)); len(todo) > 0 {
+			results, errs := dc.sweep(todo)
+			r.Commit(todo, results, errs)
+		}
+		return e.Run(r)
 	}
 	// Cell failures (audit violations, stalls, recovered panics) are
 	// reported after rendering: the healthy cells still produce output.
@@ -163,9 +223,24 @@ func main() {
 		if len(fails) == 0 {
 			return
 		}
-		fmt.Fprintf(os.Stderr, "\n%d cell(s) failed:\n", len(fails))
+		panicked := 0
+		for _, f := range fails {
+			var pe *exp.PanicError
+			if errors.As(f.Err, &pe) {
+				panicked++
+			}
+		}
+		if panicked > 0 {
+			fmt.Fprintf(os.Stderr, "\n%d cell(s) failed (%d panicked):\n", len(fails), panicked)
+		} else {
+			fmt.Fprintf(os.Stderr, "\n%d cell(s) failed:\n", len(fails))
+		}
 		for _, f := range fails {
 			fmt.Fprintf(os.Stderr, "  %s: %v\n", f.Key, f.Err)
+		}
+		if dc != nil {
+			// os.Exit skips defers: dismiss the workers first.
+			dc.close()
 		}
 		os.Exit(1)
 	}
@@ -232,7 +307,7 @@ func main() {
 	if *runName == "all" {
 		for _, e := range exp.Registry {
 			start := time.Now()
-			out := r.Generate(e)
+			out := generate(e)
 			fmt.Printf("\n%s\n(%s in %.1fs)\n", out, e.Name, time.Since(start).Seconds())
 			fmt.Print(metricsFigure())
 			save(e.Name, out)
@@ -247,7 +322,7 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println()
-	out := r.Generate(e)
+	out := generate(e)
 	fmt.Print(out)
 	fmt.Print(metricsFigure())
 	save(e.Name, out)

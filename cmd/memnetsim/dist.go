@@ -1,0 +1,110 @@
+// Distributed sweep execution: -coordinator serves a -config batch to
+// workers over HTTP; -worker joins a coordinator and runs cells until
+// the sweep is done. The merged journal and stdout report are
+// byte-identical to a single-process -jobs 1 run of the same config.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"memnet/internal/dist"
+	"memnet/internal/exp"
+)
+
+// serveBatch runs the batch's cells through a coordinator listening on
+// addr instead of the local pool, blocking until every cell is done.
+// Results and errors align with specs, exactly like RunSpecsJournaled.
+func serveBatch(addr string, lease time.Duration, specs []exp.Spec,
+	j *exp.Journal, loaded map[string]exp.Result) ([]exp.Result, []error) {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	c := dist.NewCoordinator(dist.Config{
+		LeaseTTL: lease,
+		Journal:  j,
+		Loaded:   loaded,
+		Logf:     logf,
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("bad -coordinator: %v", err)
+	}
+	// The resolved address goes to stderr so scripts binding ":0" can
+	// discover the port.
+	fmt.Fprintf(os.Stderr, "coordinator: listening on http://%s\n", ln.Addr())
+	srv := &http.Server{Handler: c.Handler()}
+	go srv.Serve(ln)
+
+	batch := c.Submit(specs)
+	c.Close()
+	results, errs, err := batch.Wait(context.Background())
+	if err != nil {
+		log.Fatalf("coordinator: %v", err)
+	}
+	if err := c.Err(); err != nil {
+		log.Fatalf("coordinator: %v", err)
+	}
+	if !c.DrainWorkers(0) {
+		fmt.Fprintf(os.Stderr, "coordinator: drain timed out; some workers may exit with a connection error\n")
+	}
+	st := c.Stats()
+	fmt.Fprintf(os.Stderr,
+		"coordinator: %d cells done (%d restored, %d failed), %d leases expired, %d duplicate, %d late\n",
+		st.Done, st.Restored, st.Failed, st.LeasesExpired, st.DuplicateResults, st.LateResults)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(shutdownCtx)
+	return results, errs
+}
+
+// runWorkerMode joins the coordinator at url and executes cells until
+// the sweep completes (the lease TTL is the coordinator's to grant).
+// fallbackPath, when set, is the local salvage journal for results the
+// worker finished but could not deliver.
+func runWorkerMode(url, fallbackPath string) {
+	var fb *exp.Journal
+	if fallbackPath != "" {
+		j, loaded, err := exp.OpenJournal(fallbackPath)
+		if err != nil {
+			log.Fatalf("bad -journal: %v", err)
+		}
+		if len(loaded) > 0 {
+			fmt.Fprintf(os.Stderr, "worker: fallback journal already holds %d salvaged cell(s)\n", len(loaded))
+		}
+		fb = j
+	}
+	stats, err := dist.RunWorker(context.Background(), dist.WorkerConfig{
+		Coordinator: url,
+		Fallback:    fb,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if fb != nil {
+		fb.Close()
+	}
+	fmt.Printf("worker: ran %d cell(s), delivered %d, salvaged %d (%d RPC retries)\n",
+		stats.CellsRun, stats.CellsDelivered, stats.Salvaged, stats.RPCRetries)
+	if err != nil {
+		log.Fatalf("worker: %v", err)
+	}
+}
+
+// countPanics reports how many of errs wrap a recovered cell panic.
+func countPanics(errs []error) int {
+	n := 0
+	for _, err := range errs {
+		var pe *exp.PanicError
+		if errors.As(err, &pe) {
+			n++
+		}
+	}
+	return n
+}

@@ -18,6 +18,7 @@ import (
 
 	"memnet/internal/audit"
 	"memnet/internal/core"
+	"memnet/internal/dist"
 	"memnet/internal/exp"
 	"memnet/internal/fault"
 	"memnet/internal/link"
@@ -60,8 +61,37 @@ func main() {
 	metricsIntervalF := flag.String("metrics-interval", "10us", "metrics sampling period (with -metrics)")
 	metricsOut := flag.String("metrics-out", "",
 		"write sampled metrics to this file; .csv gets CSV, anything else JSON lines (with -metrics)")
+	coordAddr := flag.String("coordinator", "",
+		"with -config: serve the batch to distributed workers on this address (e.g. :9731) instead of running locally")
+	workerURL := flag.String("worker", "",
+		"run as a sweep worker against this coordinator URL (e.g. http://host:9731); -journal becomes the local salvage journal")
+	leaseF := flag.String("lease", "", "coordinator lease TTL granted to workers (default 10s)")
 	flag.Parse()
 
+	lease := dist.DefaultLeaseTTL
+	if *leaseF != "" {
+		d, err := time.ParseDuration(*leaseF)
+		if err != nil {
+			log.Fatalf("bad -lease: %v", err)
+		}
+		if d <= 0 {
+			log.Fatalf("bad -lease: must be positive, got %s", *leaseF)
+		}
+		lease = d
+	}
+	if *leaseF != "" && *coordAddr == "" {
+		log.Fatalf("bad -lease: requires -coordinator")
+	}
+	if *workerURL != "" {
+		if *coordAddr != "" || *config != "" {
+			log.Fatalf("bad -worker: mutually exclusive with -coordinator and -config")
+		}
+		runWorkerMode(*workerURL, *journalPath)
+		return
+	}
+	if *coordAddr != "" && *config == "" {
+		log.Fatalf("bad -coordinator: requires -config (it serves a batch)")
+	}
 	if *jobs < 1 {
 		log.Fatalf("bad -jobs: need at least 1 worker, got %d", *jobs)
 	}
@@ -118,7 +148,8 @@ func main() {
 		return
 	}
 	if *config != "" {
-		runBatch(*config, *jobs, *auditEvery, *journalPath, retrainDur, *crcRetries, metricsIv, *metricsOut)
+		runBatch(*config, *jobs, *auditEvery, *journalPath, retrainDur, *crcRetries, metricsIv, *metricsOut,
+			*coordAddr, lease)
 		return
 	}
 
@@ -246,8 +277,10 @@ func writeMetricsFile(path string, entries []metrics.Entry) {
 // run (audit violation, stall, recovered panic) is reported in place and
 // flips the exit status without aborting the remaining runs; with
 // -journal, completed runs are restored on restart instead of re-run.
+// With coordAddr the cells are served to distributed workers instead of
+// the local pool; the report and journal stay byte-identical.
 func runBatch(path string, jobs, auditEvery int, journalPath string, retrain sim.Duration, crcRetries int,
-	metricsIv sim.Duration, metricsOut string) {
+	metricsIv sim.Duration, metricsOut string, coordAddr string, lease time.Duration) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -288,7 +321,13 @@ func runBatch(path string, jobs, auditEvery int, journalPath string, retrain sim
 		}
 	}
 	start := time.Now()
-	results, errs := exp.RunSpecsJournaled(specs, jobs, j, loaded)
+	var results []exp.Result
+	var errs []error
+	if coordAddr != "" {
+		results, errs = serveBatch(coordAddr, lease, specs, j, loaded)
+	} else {
+		results, errs = exp.RunSpecsJournaled(specs, jobs, j, loaded)
+	}
 	failed := 0
 	var entries []metrics.Entry
 	for i, res := range results {
@@ -308,7 +347,11 @@ func runBatch(path string, jobs, auditEvery int, journalPath string, retrain sim
 	fmt.Printf("batch: %d runs in %.2fs wall (-jobs %d)\n",
 		len(specs), time.Since(start).Seconds(), jobs)
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "%d of %d runs failed\n", failed, len(specs))
+		if panicked := countPanics(errs); panicked > 0 {
+			fmt.Fprintf(os.Stderr, "%d of %d runs failed (%d panicked)\n", failed, len(specs), panicked)
+		} else {
+			fmt.Fprintf(os.Stderr, "%d of %d runs failed\n", failed, len(specs))
+		}
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,162 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"memnet/internal/exp"
+	"memnet/internal/sim"
+	"memnet/internal/workload"
+)
+
+// fuzzSpecs builds two cheap cells without *testing.T (the fuzz engine
+// owns the test handle).
+func fuzzSpecs(f *testing.F) []exp.Spec {
+	wl, err := workload.ByName("mixG")
+	if err != nil {
+		f.Fatal(err)
+	}
+	mk := func(salt uint64) exp.Spec {
+		return exp.Spec{
+			Workload: wl,
+			Mech:     exp.MechFP,
+			SimTime:  20 * sim.Microsecond,
+			Warmup:   5 * sim.Microsecond,
+			SeedSalt: salt,
+		}
+	}
+	return []exp.Spec{mk(1), mk(2)}
+}
+
+// FuzzWire throws arbitrary bytes at every coordinator endpoint: no
+// input may panic the handler or corrupt the lease state machine, and
+// every 200 response must be a stable JSON document (decode → marshal →
+// decode is a fixed point — what a worker reads is what the coordinator
+// meant). which selects the endpoint so the fuzzer mutates the pairing
+// too.
+func FuzzWire(f *testing.F) {
+	specs := fuzzSpecs(f)
+	for _, seed := range []struct {
+		which byte
+		body  string
+	}{
+		{0, `{"worker":"w1"}`},
+		{0, `{"worker":""}`},
+		{0, `{"worker":"w1","extra":1}`},
+		{1, `{"worker":"w1","id":0,"key":"k"}`},
+		{1, `{"worker":"w1","id":-1,"key":"k"}`},
+		{1, `{"worker":"w1","id":99999,"key":"k"}`},
+		{2, `{"worker":"w1","id":0,"key":"k","result":{"Spec":{}}}`},
+		{2, `{"worker":"w1","id":0,"key":"k","error":"cell panicked: boom"}`},
+		{2, `{"worker":"w1","id":0,"key":"k","result":{"Spec":,}}`},
+		{2, `{"worker":"w1","id":0,"key":"k"}`},
+		{2, `{"worker":"w1","id":0,"key":"k","result":{},"error":"both"}`},
+		{3, ``},
+		{0, `{"worker":"w1"}{"worker":"w2"}`},
+		{2, `[1,2,3]`},
+		{1, "\x00\xff"},
+	} {
+		f.Add(seed.which, []byte(seed.body))
+	}
+	f.Fuzz(func(t *testing.T, which byte, body []byte) {
+		// A small live sweep: two cells, the first leased to "held".
+		c := NewCoordinator(Config{LeaseTTL: time.Hour})
+		c.Submit(specs)
+		if cl := c.claim("held"); cl.Status != StatusCell {
+			t.Fatalf("setup claim: %+v", cl)
+		}
+		h := c.Handler()
+
+		paths := []string{PathClaim, PathHeartbeat, PathResult, PathStatus}
+		path := paths[int(which)%len(paths)]
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+
+		switch {
+		case rec.Code == http.StatusOK:
+			// Every OK response is one stable JSON document.
+			var doc any
+			dec := json.NewDecoder(bytes.NewReader(rec.Body.Bytes()))
+			if err := dec.Decode(&doc); err != nil {
+				t.Fatalf("%s answered 200 with undecodable body %q: %v", path, rec.Body.Bytes(), err)
+			}
+			first, err := json.Marshal(doc)
+			if err != nil {
+				t.Fatalf("%s response does not re-marshal: %v", path, err)
+			}
+			var again any
+			if err := json.Unmarshal(first, &again); err != nil {
+				t.Fatalf("%s response is not a marshal fixed point: %v", path, err)
+			}
+			second, err := json.Marshal(again)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first, second) {
+				t.Fatalf("%s response unstable across round trips:\n%s\n%s", path, first, second)
+			}
+		case rec.Code == http.StatusBadRequest:
+			// Protocol rejection: fine, but it must carry a reason.
+			if rec.Body.Len() == 0 {
+				t.Fatalf("%s answered 400 with no reason", path)
+			}
+		default:
+			t.Fatalf("%s answered unexpected status %d", path, rec.Code)
+		}
+
+		// The lease state machine must stay coherent no matter what landed.
+		st := c.Stats()
+		if st.Done < 0 || st.Done > st.Cells {
+			t.Fatalf("stats corrupted: %+v", st)
+		}
+		if st.Failed > st.Done {
+			t.Fatalf("more failures than completions: %+v", st)
+		}
+		if st.Claimed > st.Cells-st.Done {
+			t.Fatalf("more leases than open cells: %+v", st)
+		}
+	})
+}
+
+// FuzzWireRequests: any bytes a coordinator accepts as a wire request
+// must survive a marshal round trip unchanged in meaning — the strict
+// decoder and the struct tags agree on one canonical form.
+func FuzzWireRequests(f *testing.F) {
+	for _, seed := range []string{
+		`{"worker":"w","id":3,"key":"a|b|c","result":{"Spec":{}}}`,
+		`{"worker":"w","id":0,"key":"k","error":"boom"}`,
+		`{"worker":"w"}`,
+		`{"worker":"w","id":1,"key":"k"}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req ResultRequest
+		if err := decodeStrict(bytes.NewReader(data), &req); err != nil {
+			return
+		}
+		if req.Validate() != nil {
+			return
+		}
+		out, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted request does not marshal: %v", err)
+		}
+		var again ResultRequest
+		if err := decodeStrict(bytes.NewReader(out), &again); err != nil {
+			t.Fatalf("marshaled request does not decode strictly: %v\n%s", err, out)
+		}
+		out2, err := json.Marshal(again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("request not a marshal fixed point:\n%s\n%s", out, out2)
+		}
+	})
+}

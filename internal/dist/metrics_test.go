@@ -1,0 +1,62 @@
+package dist
+
+import (
+	"testing"
+	"time"
+
+	"memnet/internal/metrics"
+	"memnet/internal/sim"
+)
+
+// TestAttachMetrics: the coordinator's wall-clock gauges ride a manual
+// (kernel-less) registry — every state change Observes a sample, and the
+// dump reflects the live lease counters.
+func TestAttachMetrics(t *testing.T) {
+	fc := newFakeClock()
+	c := NewCoordinator(clockCfg(fc, time.Second))
+	reg := metrics.NewManual(metrics.Config{Interval: sim.Microsecond})
+	c.AttachMetrics(reg)
+	reg.StartManual()
+
+	specs := testSpecs(t, 2)
+	c.Submit(specs)
+	cl := c.claim("alice")
+	if cl.Status != StatusCell {
+		t.Fatalf("claim: %+v", cl)
+	}
+	// Expire alice's lease, reclaim, and complete.
+	fc.Advance(2 * time.Second)
+	cl2 := c.claim("bob")
+	if cl2.Status != StatusCell || cl2.ID != cl.ID {
+		t.Fatalf("reclaim: %+v", cl2)
+	}
+	ack := c.result(ResultRequest{Worker: "bob", ID: cl2.ID, Key: cl2.Key, Result: fakeResult(t, specs[0])})
+	if !ack.Accepted {
+		t.Fatalf("result: %+v", ack)
+	}
+
+	dump := reg.Dump()
+	last := map[string]float64{}
+	for _, s := range dump.Series {
+		if len(s.Samples) == 0 {
+			t.Fatalf("series %s has no samples — Observe never ran", s.Name)
+		}
+		last[s.Name] = s.Samples[len(s.Samples)-1]
+	}
+	want := map[string]float64{
+		"dist.cells":             2,
+		"dist.done":              1,
+		"dist.claimed":           0,
+		"dist.leases_expired":    1,
+		"dist.duplicate_results": 0,
+	}
+	for name, v := range want {
+		got, ok := last[name]
+		if !ok {
+			t.Fatalf("gauge %s missing from dump; have %v", name, last)
+		}
+		if got != v {
+			t.Errorf("gauge %s = %g, want %g", name, got, v)
+		}
+	}
+}

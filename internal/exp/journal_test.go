@@ -2,6 +2,7 @@ package exp
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"reflect"
 	"strings"
@@ -97,6 +98,57 @@ func TestJournalTornTailRecovery(t *testing.T) {
 	data, _ := os.ReadFile(path)
 	if strings.Contains(string(data), "torn-mid-wr") {
 		t.Fatal("torn tail survived recovery")
+	}
+}
+
+// TestJournalTornTailReopenCycle loses power during resume, repeatedly:
+// each round re-opens a journal whose tail was torn mid-append,
+// immediately appends a fresh entry, and is torn again before the next
+// round. Every complete entry must survive every round, the recovered
+// file must be appendable at once (the truncation and the append race a
+// crash window), and no round may resurrect torn bytes.
+func TestJournalTornTailReopenCycle(t *testing.T) {
+	path := t.TempDir() + "/sweep.jsonl"
+	res, err := Run(tinySpec(core.PolicyNone, MechFP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tear := func(frag string) {
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY|os.O_CREATE, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteString(frag); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	for round := 0; round < 3; round++ {
+		j, loaded, err := OpenJournal(path)
+		if err != nil {
+			t.Fatalf("round %d: re-open after tear: %v", round, err)
+		}
+		if len(loaded) != round {
+			t.Fatalf("round %d: recovered %d entries, want %d", round, len(loaded), round)
+		}
+		// The power comes back mid-resume: append immediately after the
+		// torn-tail truncation, then lose the next write too.
+		if err := j.Append(fmt.Sprintf("cycle-key-%d", round), res); err != nil {
+			t.Fatalf("round %d: append after recovery: %v", round, err)
+		}
+		j.Close()
+		tear(fmt.Sprintf(`{"key":"torn-%d","result":{"Spe`, round))
+	}
+	_, loaded, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 3 {
+		t.Fatalf("final load recovered %d entries, want 3", len(loaded))
+	}
+	data, _ := os.ReadFile(path)
+	if strings.Contains(string(data), "torn-") {
+		t.Fatalf("a torn tail survived the re-open cycle:\n%s", data)
 	}
 }
 

@@ -604,21 +604,30 @@ func (r *Runner) AttachJournal(j *Journal, loaded map[string]Result) {
 	r.journaled = loaded
 }
 
-// fromJournal consumes a restored result for k, if present. The restored
-// Spec is replaced with the caller's canonical normalized spec: JSON does
-// not round-trip every Spec field bit-exactly (fault scenario durations),
-// and downstream baseline lookups re-derive keys from res.Spec.
+// fromJournal consumes a restored result for k, if present.
 func (r *Runner) fromJournal(k string, spec Spec) (Result, bool) {
 	res, ok := r.journaled[k]
 	if !ok {
 		return Result{}, false
 	}
 	delete(r.journaled, k)
+	return CanonicalResult(res, spec), true
+}
+
+// CanonicalResult aligns a result that crossed a serialization boundary
+// — a journal restore or the distributed wire — with the caller's
+// canonical spec. The marshaled Spec is always replaced: JSON does not
+// round-trip every Spec field bit-exactly, and downstream baseline
+// lookups re-derive keys from res.Spec. It is the single merge entry
+// point shared by journal resume (fromJournal, RunSpecsJournaled) and
+// the distributed coordinator (internal/dist), which is what makes a
+// merged distributed journal byte-identical to a single-process one.
+func CanonicalResult(res Result, spec Spec) Result {
 	res.Spec = spec.resolved()
 	if res.Hist == nil {
 		res.Hist = &stats.LinkHourHist{}
 	}
-	return res, true
+	return res
 }
 
 // FPBaseline returns the paired full-power run for spec.

@@ -63,6 +63,19 @@ func (r *Runner) Collect(gen func(*Runner) string) []Spec {
 // panics) get placeholder results and are recorded in Failures, so one
 // bad cell cannot take down the rest of the sweep.
 func (r *Runner) Prefetch(specs []Spec) {
+	todo := r.Uncached(specs)
+	if len(todo) == 0 {
+		return
+	}
+	results, errs := RunSpecsAll(todo, r.jobs())
+	r.commit(todo, results, errs, true)
+}
+
+// Uncached normalizes specs and filters them against the memo cache and
+// the attached journal (restored cells are committed on the spot),
+// returning only the cells that still need simulating — the work list
+// the local pool or the distributed coordinator must actually run.
+func (r *Runner) Uncached(specs []Spec) []Spec {
 	var todo []Spec
 	for _, s := range specs {
 		s = r.normalize(s)
@@ -80,18 +93,29 @@ func (r *Runner) Prefetch(specs []Spec) {
 		}
 		todo = append(todo, s)
 	}
-	if len(todo) == 0 {
-		return
-	}
-	results, errs := RunSpecsAll(todo, r.jobs())
+	return todo
+}
+
+// Commit stores externally computed sweep results — the distributed
+// coordinator's merge — in the memo cache, in sweep order, recording
+// failures exactly like the local pool. specs must be the Uncached work
+// list the results were computed from. The journal is deliberately not
+// appended to: in a distributed run the coordinator owns journaling.
+func (r *Runner) Commit(specs []Spec, results []Result, errs []error) {
+	r.commit(specs, results, errs, false)
+}
+
+// commit is the shared cache-commit loop: sweep order, placeholder
+// results for failed cells, optional journal appends for fresh results.
+func (r *Runner) commit(specs []Spec, results []Result, errs []error, journal bool) {
 	for i, res := range results {
-		k := todo[i].key()
+		k := specs[i].key()
 		if err := errs[i]; err != nil {
 			r.failures = append(r.failures, CellFailure{Key: k, Err: err})
 			if r.Progress != nil {
 				r.Progress(fmt.Sprintf("FAILED %s: %v", k, err))
 			}
-			r.cache[k] = Result{Spec: todo[i], Hist: &stats.LinkHourHist{}}
+			r.cache[k] = Result{Spec: specs[i], Hist: &stats.LinkHourHist{}}
 			continue
 		}
 		r.cache[k] = res
@@ -99,7 +123,7 @@ func (r *Runner) Prefetch(specs []Spec) {
 		if r.Progress != nil {
 			r.Progress(fmt.Sprintf("ran %s (%.1fM events)", k, float64(res.Events)/1e6))
 		}
-		if r.journal != nil {
+		if journal && r.journal != nil {
 			if err := r.journal.Append(k, res); err != nil {
 				r.failures = append(r.failures, CellFailure{Key: k, Err: fmt.Errorf("journal: %w", err)})
 			}
@@ -121,6 +145,13 @@ func (e *PanicError) Error() string {
 
 // runImpl is swapped by tests to inject panicking/failing cells.
 var runImpl = Run
+
+// RunCell executes one sweep cell with the standard panic containment:
+// a panic anywhere under Run comes back as a structured *PanicError
+// instead of crashing the process. It is the execution entry point for
+// distributed workers (internal/dist), which must fail one cell — never
+// the whole worker — on a corrupted simulation.
+func RunCell(spec Spec) (Result, error) { return runCell(spec) }
 
 // runCell executes one sweep cell, converting a panic anywhere under Run
 // into a structured *PanicError so a corrupted cell fails alone instead
@@ -204,11 +235,7 @@ func RunSpecsJournaled(specs []Spec, jobs int, j *Journal, loaded map[string]Res
 		k := s.key()
 		if res, ok := loaded[k]; ok {
 			delete(loaded, k)
-			res.Spec = s.resolved()
-			if res.Hist == nil {
-				res.Hist = &stats.LinkHourHist{}
-			}
-			results[i] = res
+			results[i] = CanonicalResult(res, s)
 			continue
 		}
 		todo = append(todo, s)
