@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench soak cover fuzz benchdiff distsmoke
+.PHONY: all check vet build test race bench soak cover fuzz benchdiff distsmoke profile
 
 all: check
 
@@ -69,6 +69,14 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParseScenario -fuzztime=$(FUZZTIME) ./internal/fault
 	$(GO) test -run='^$$' -fuzz='FuzzWire$$' -fuzztime=$(FUZZTIME) ./internal/dist
 	$(GO) test -run='^$$' -fuzz=FuzzWireRequests -fuzztime=$(FUZZTIME) ./internal/dist
+
+# profile runs the standard benchmark sweep under the CPU and heap
+# profilers and prints the top CPU consumers. Inspect interactively with
+#   go tool pprof cpu.pprof      (or mem.pprof)
+profile:
+	$(GO) run ./cmd/memnetsim -sweepbench /tmp/bench_profile.json \
+		-cpuprofile cpu.pprof -memprofile mem.pprof
+	$(GO) tool pprof -top -nodecount=15 cpu.pprof
 
 # benchdiff measures a fresh sweep benchmark and diffs it against the
 # committed BENCH_sweep.json with a tolerance band; it hard-fails beyond

@@ -498,8 +498,8 @@ func BenchmarkAblationBER(b *testing.B) {
 }
 
 // BenchmarkKernel measures raw event throughput of the simulation kernel.
-// Steady-state schedule+step must report 0 allocs/op: the monomorphic
-// 4-ary heap has no interface boxing and no container/heap indirection.
+// Steady-state schedule+step must report 0 allocs/op: the timing wheel
+// reuses slot storage in place and nothing boxes an interface.
 func BenchmarkKernel(b *testing.B) {
 	k := sim.NewKernel()
 	b.ReportAllocs()

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -61,6 +63,52 @@ func TestGoldenOutput(t *testing.T) {
 			checkGolden(t, tc.name, out)
 		})
 	}
+}
+
+// TestGoldenFaultMetricsSweep locks the fault + metrics sweep pipeline
+// byte for byte across every artifact the CLI writes: the avail
+// experiment (a module outage with timeout-retried reads) with the
+// metrics sampler armed must reproduce the stdout report, the -outdir
+// figure file, the resumable journal, and the CSV metrics export
+// exactly. The goldens were captured before the timing-wheel event
+// queue landed, so a pass proves the wheel preserved the (at, seq)
+// event order through a parallel multi-topology sweep. The 427 KB CSV
+// is pinned by hash rather than committed wholesale.
+func TestGoldenFaultMetricsSweep(t *testing.T) {
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "m.csv")
+	journalPath := filepath.Join(dir, "j.jsonl")
+	outDir := filepath.Join(dir, "out")
+	// .Output(), not .CombinedOutput(): stderr carries the export and
+	// journal notices, whose paths vary per run.
+	out, err := exec.Command(bin, "-run", "avail",
+		"-simtime", "220us", "-warmup", "20us", "-jobs", "2",
+		"-metrics", "-metrics-interval", "20us",
+		"-metrics-out", csvPath, "-journal", journalPath, "-outdir", outDir).Output()
+	if err != nil {
+		t.Fatalf("fault+metrics sweep: %v", err)
+	}
+	checkGolden(t, "fault_metrics_sweep", out)
+
+	fig, err := os.ReadFile(filepath.Join(outDir, "avail.txt"))
+	if err != nil {
+		t.Fatalf("read -outdir figure: %v", err)
+	}
+	checkGolden(t, "fault_metrics_figure", fig)
+
+	j, err := os.ReadFile(journalPath)
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	checkGolden(t, "fault_metrics_journal", j)
+
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatalf("read metrics export: %v", err)
+	}
+	digest := fmt.Sprintf("sha256:%x bytes:%d\n", sha256.Sum256(csv), len(csv))
+	checkGolden(t, "fault_metrics_export", []byte(digest))
 }
 
 // TestMetricsFlagValidation mirrors the memnetsim checks for this CLI's

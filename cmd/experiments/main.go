@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -37,6 +38,13 @@ func parseDuration(s string) (sim.Duration, error) {
 }
 
 func main() {
+	// Same GC posture as memnetsim: the live heap is a few MB but sweep
+	// cells churn construction garbage, and GOGC=100 keeps write
+	// barriers armed on the event queue's hottest stores for a large
+	// fraction of the run. A higher trigger trades a bounded RSS bump
+	// for those cycles back.
+	debug.SetGCPercent(600)
+
 	runName := flag.String("run", "", "experiment to run (or 'all')")
 	list := flag.Bool("list", false, "list experiments")
 	simtime := flag.String("simtime", "400us", "measured simulated interval per run")
@@ -62,6 +70,8 @@ func main() {
 	workerURL := flag.String("worker", "",
 		"run as a sweep worker against this coordinator URL (e.g. http://host:9731); -journal becomes the local salvage journal")
 	leaseF := flag.String("lease", "", "coordinator lease TTL granted to workers (default 10s)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken at exit, after a final GC) to this file")
 	flag.Parse()
 
 	lease := dist.DefaultLeaseTTL
@@ -86,6 +96,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bad -worker: mutually exclusive with -coordinator and -run\n")
 			os.Exit(1)
 		}
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "cpuprofile" || f.Name == "memprofile" {
+				fmt.Fprintf(os.Stderr, "bad -%s: not supported with -worker (profiles flush only at a clean exit)\n", f.Name)
+				os.Exit(1)
+			}
+		})
 		runWorkerMode(*workerURL, *journalPath)
 		return
 	}
@@ -95,6 +111,12 @@ func main() {
 	}
 
 	if *list || *runName == "" {
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "cpuprofile" || f.Name == "memprofile" {
+				fmt.Fprintf(os.Stderr, "bad -%s: requires -run (nothing to profile)\n", f.Name)
+				os.Exit(1)
+			}
+		})
 		fmt.Println("experiments:")
 		for _, e := range exp.Registry {
 			heavy := ""
@@ -106,8 +128,15 @@ func main() {
 		return
 	}
 
+	stop, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	stopProfiles = stop
+	defer stopProfiles()
+
 	r := exp.NewRunner()
-	var err error
 	if r.SimTime, err = parseDuration(*simtime); err != nil {
 		fmt.Fprintf(os.Stderr, "bad -simtime: %v\n", err)
 		os.Exit(1)
@@ -242,6 +271,7 @@ func main() {
 			// os.Exit skips defers: dismiss the workers first.
 			dc.close()
 		}
+		stopProfiles()
 		os.Exit(1)
 	}
 

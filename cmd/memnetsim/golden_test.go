@@ -15,12 +15,17 @@ import (
 //	go test ./cmd/memnetsim -run Golden -update
 var update = flag.Bool("update", false, "rewrite golden files from current output")
 
-// wallRE scrubs the only nondeterministic tokens in the default output
-// (wall-clock seconds) so goldens compare byte-for-byte.
-var wallRE = regexp.MustCompile(`in \d+\.\d\ds wall`)
+// wallRE and metricsOutRE scrub the only nondeterministic tokens in the
+// output (wall-clock seconds, the caller's -metrics-out path) so goldens
+// compare byte-for-byte.
+var (
+	wallRE       = regexp.MustCompile(`in \d+\.\d\ds wall`)
+	metricsOutRE = regexp.MustCompile(`wrote metrics to .*`)
+)
 
 func scrubWall(b []byte) []byte {
-	return wallRE.ReplaceAll(b, []byte("in X.XXs wall"))
+	b = wallRE.ReplaceAll(b, []byte("in X.XXs wall"))
+	return metricsOutRE.ReplaceAll(b, []byte("wrote metrics to METRICS_OUT"))
 }
 
 // checkGolden compares got against testdata/<name>.golden byte-for-byte
@@ -68,6 +73,36 @@ func TestGoldenOutput(t *testing.T) {
 			checkGolden(t, tc.name, out)
 		})
 	}
+}
+
+// TestGoldenFaultMetricsRun locks the full fault-pipeline output byte
+// for byte: a run with injected faults (burst corruption, a dropped
+// wakeup, a vault stall, a link fail/repair), timeout-driven retries,
+// the watchdog, and the metrics sampler armed must reproduce both the
+// stdout report and the raw JSONL metrics export exactly. The goldens
+// were captured before the timing-wheel event queue landed, so a pass
+// proves the wheel preserved the (at, seq) event order end to end under
+// the heaviest event mix the CLI can produce.
+func TestGoldenFaultMetricsRun(t *testing.T) {
+	bin := buildCLI(t)
+	outPath := filepath.Join(t.TempDir(), "m.jsonl")
+	out, err := exec.Command(bin,
+		"-wl", "mixB", "-topo", "daisychain", "-size", "small",
+		"-simtime", "220us", "-warmup", "20us",
+		"-timeout", "2us", "-retries", "2", "-watchdog",
+		"-faults", filepath.Join("testdata", "faults_metrics.json"),
+		"-metrics", "-metrics-interval", "20us", "-metrics-out", outPath,
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("fault+metrics run: %v\n%s", err, out)
+	}
+	checkGolden(t, "fault_metrics_run", out)
+
+	export, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatalf("read metrics export: %v", err)
+	}
+	checkGolden(t, "fault_metrics_export", export)
 }
 
 // TestMetricsFlagValidation: metrics flags must be rejected without

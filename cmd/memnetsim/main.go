@@ -13,6 +13,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -31,6 +32,14 @@ import (
 )
 
 func main() {
+	// The simulator's live heap is a few MB (pooled events, per-cell
+	// models), but each sweep cell's construction churns tens of MB, so
+	// the default GOGC=100 trigger fires a collection every ~50 ms and
+	// keeps write barriers armed on the event queue's hottest stores for
+	// a third of the run. Letting the heap grow several multiples first
+	// trades tens of MB of peak RSS for those cycles back.
+	debug.SetGCPercent(600)
+
 	wlName := flag.String("wl", "mixB", "workload profile")
 	topoName := flag.String("topo", "star", "daisychain | 'ternary tree' | star | DDRx-like")
 	sizeName := flag.String("size", "small", "small (4GB/module) or big (1GB/module)")
@@ -66,6 +75,8 @@ func main() {
 	workerURL := flag.String("worker", "",
 		"run as a sweep worker against this coordinator URL (e.g. http://host:9731); -journal becomes the local salvage journal")
 	leaseF := flag.String("lease", "", "coordinator lease TTL granted to workers (default 10s)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken at exit, after a final GC) to this file")
 	flag.Parse()
 
 	lease := dist.DefaultLeaseTTL
@@ -86,6 +97,11 @@ func main() {
 		if *coordAddr != "" || *config != "" {
 			log.Fatalf("bad -worker: mutually exclusive with -coordinator and -config")
 		}
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "cpuprofile" || f.Name == "memprofile" {
+				log.Fatalf("bad -%s: not supported with -worker (profiles flush only at a clean exit)", f.Name)
+			}
+		})
 		runWorkerMode(*workerURL, *journalPath)
 		return
 	}
@@ -139,6 +155,13 @@ func main() {
 		}
 		metricsIv = sim.Duration(mi.Nanoseconds()) * sim.Nanosecond
 	}
+
+	stop, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stopProfiles = stop
+	defer stopProfiles()
 
 	if *sweepbench != "" {
 		if *metricsOn {
@@ -352,14 +375,21 @@ func runBatch(path string, jobs, auditEvery int, journalPath string, retrain sim
 		} else {
 			fmt.Fprintf(os.Stderr, "%d of %d runs failed\n", failed, len(specs))
 		}
+		// os.Exit skips defers: flush any armed profiles first.
+		stopProfiles()
 		os.Exit(1)
 	}
 }
 
 // runSweepBench measures the sweep executor against the sequential path
-// and writes the machine-readable record tracked across PRs.
+// and writes the machine-readable record tracked across PRs. 150 µs
+// cells keep each timed pass a couple of seconds long — the event queue
+// got fast enough that 100 µs passes finished inside one clock phase of
+// a noisy shared box — and MeasureSweep's interleaved min-of-N rounds
+// keep the overhead ratios (held to an absolute budget by benchdiff)
+// from comparing walls across a phase boundary.
 func runSweepBench(path string, jobs int) {
-	specs, err := exp.BenchSweepSpecs(100*sim.Microsecond, 25*sim.Microsecond)
+	specs, err := exp.BenchSweepSpecs(150*sim.Microsecond, 25*sim.Microsecond)
 	if err != nil {
 		log.Fatal(err)
 	}

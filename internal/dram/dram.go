@@ -112,11 +112,22 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// Completion receives an access-completion callback. Using an interface
+// instead of a func lets callers hand the DRAM a reusable completion
+// object, so the steady-state access path schedules without allocating.
+type Completion interface{ AccessDone() }
+
+// funcDone adapts a plain func to Completion for the convenience Access
+// entry point (func values are pointer-shaped, so the conversion is free).
+type funcDone func()
+
+func (f funcDone) AccessDone() { f() }
+
 // request is one queued vault access.
 type request struct {
 	addr   uint64
 	isRead bool
-	done   func()
+	done   Completion
 }
 
 // vault serializes accesses through a bank pool and a shared data bus.
@@ -128,6 +139,42 @@ type vault struct {
 	busFree      sim.Time
 	queue        []request // reads kept ahead of writes
 	inService    bool
+	// issue is the vault's reusable next-issue event; the service chain
+	// is strictly sequential, so at most one is ever pending.
+	issue issueAction
+}
+
+// issueAction resumes a vault's service loop tRRD after an activate.
+type issueAction struct {
+	d *HMCDRAM
+	v *vault
+}
+
+func (a *issueAction) Act() { a.d.serviceNext(a.v) }
+
+// burstDoneAction is the pooled data-burst-complete event: it settles the
+// outstanding-read count and fires the caller's completion. Bursts
+// pipeline across banks and vaults, so these come from a free list.
+type burstDoneAction struct {
+	d      *HMCDRAM
+	isRead bool
+	done   Completion
+}
+
+func (a *burstDoneAction) Act() {
+	d, isRead, done := a.d, a.isRead, a.done
+	a.done = nil
+	d.doneFree = append(d.doneFree, a)
+	if isRead {
+		d.outstandingReads--
+		if d.outstandingReads < 0 {
+			d.aud.Reportf(d.auditName, "outstanding-reads",
+				"read completion drove outstanding reads to %d", d.outstandingReads)
+		}
+	}
+	if done != nil {
+		done.AccessDone()
+	}
 }
 
 // Stats aggregates DRAM activity for power and verification.
@@ -153,6 +200,7 @@ type HMCDRAM struct {
 
 	outstandingReads int
 	stallUntil       sim.Time
+	doneFree         []*burstDoneAction
 	// OnReadStart, if set, fires when a read access enters service —
 	// the hook the proactive response-link wakeup ([22]) uses.
 	OnReadStart func()
@@ -227,6 +275,10 @@ func New(k *sim.Kernel, cfg Config) *HMCDRAM {
 	d := &HMCDRAM{cfg: cfg, kernel: k, vaults: make([]vault, cfg.Vaults)}
 	for i := range d.vaults {
 		d.vaults[i].idx = i
+		// The queue never exceeds QueueDepth (AccessAction rejects past
+		// it), so full capacity up front means no vault ever grows its
+		// queue mid-run.
+		d.vaults[i].queue = make([]request, 0, cfg.QueueDepth)
 		d.vaults[i].bankFree = make([]sim.Time, cfg.Banks)
 		d.vaults[i].openRow = make([]int64, cfg.Banks)
 		for b := range d.vaults[i].openRow {
@@ -235,6 +287,7 @@ func New(k *sim.Kernel, cfg Config) *HMCDRAM {
 		// No activate has happened yet; far enough in the past that the
 		// tRRD window never binds the first access.
 		d.vaults[i].lastActivate = -(sim.Time(1) << 60)
+		d.vaults[i].issue = issueAction{d: d, v: &d.vaults[i]}
 	}
 	return d
 }
@@ -307,6 +360,16 @@ func (d *HMCDRAM) VaultFor(addr uint64) int {
 // false if the vault queue is full, in which case the caller must retry —
 // the network layer holds the packet at the link controller in that case.
 func (d *HMCDRAM) Access(addr uint64, isRead bool, done func()) bool {
+	var c Completion
+	if done != nil {
+		c = funcDone(done)
+	}
+	return d.AccessAction(addr, isRead, c)
+}
+
+// AccessAction is Access taking a Completion value directly — the
+// allocation-free entry point for callers with pooled completions.
+func (d *HMCDRAM) AccessAction(addr uint64, isRead bool, done Completion) bool {
 	v := &d.vaults[d.VaultFor(addr)]
 	if len(v.queue) >= d.cfg.QueueDepth {
 		d.stats.QueueFullRejects++
@@ -346,7 +409,12 @@ func (d *HMCDRAM) serviceNext(v *vault) {
 	}
 	v.inService = true
 	req := v.queue[0]
-	v.queue = v.queue[1:]
+	// Copy-down pop keeps the backing array in place, so the queue's
+	// capacity is reused forever instead of re-allocated as the base
+	// pointer walks forward.
+	copy(v.queue, v.queue[1:])
+	v.queue[len(v.queue)-1] = request{}
+	v.queue = v.queue[:len(v.queue)-1]
 
 	now := d.kernel.Now()
 	row := d.rowOf(req.addr)
@@ -454,18 +522,14 @@ func (d *HMCDRAM) serviceNext(v *vault) {
 		d.stats.Writes++
 	}
 
-	d.kernel.Schedule(dataEnd, func() {
-		if req.isRead {
-			d.outstandingReads--
-			if d.outstandingReads < 0 {
-				d.aud.Reportf(d.auditName, "outstanding-reads",
-					"read completion drove outstanding reads to %d", d.outstandingReads)
-			}
-		}
-		if req.done != nil {
-			req.done()
-		}
-	})
+	var bd *burstDoneAction
+	if n := len(d.doneFree); n > 0 {
+		bd, d.doneFree = d.doneFree[n-1], d.doneFree[:n-1]
+	} else {
+		bd = &burstDoneAction{d: d}
+	}
+	bd.isRead, bd.done = req.isRead, req.done
+	d.kernel.ScheduleAction(dataEnd, bd)
 	// The vault can issue its next activate tRRD after this one (bank and
 	// bus conflicts are resolved when that access is scheduled), so the
 	// queue drains in a pipeline rather than one access per tRC.
@@ -473,5 +537,5 @@ func (d *HMCDRAM) serviceNext(v *vault) {
 	if nextIssue < now {
 		nextIssue = now
 	}
-	d.kernel.Schedule(nextIssue, func() { d.serviceNext(v) })
+	d.kernel.ScheduleAction(nextIssue, &v.issue)
 }

@@ -32,12 +32,12 @@ type SweepBench struct {
 	// WallAuditSec is a third sequential pass with the invariant auditor
 	// at its default sampling stride; AuditOverhead is its slowdown
 	// relative to the unaudited sequential pass (0.03 = 3% slower). The
-	// ISSUE budget for the default stride is <5%.
+	// budget for the default stride is overheadBudget in cmd/benchdiff.
 	WallAuditSec  float64 `json:"wall_audit_sec"`
 	AuditOverhead float64 `json:"audit_overhead"`
 	// WallMetricsSec is a fourth sequential pass with the metrics sampler
 	// armed at its default interval; MetricsOverhead is its slowdown
-	// relative to the plain sequential pass. The ISSUE budget is <5%.
+	// relative to the plain sequential pass, against the same budget.
 	WallMetricsSec  float64 `json:"wall_metrics_sec"`
 	MetricsOverhead float64 `json:"metrics_overhead"`
 	EventsPerSec    struct {
@@ -86,54 +86,108 @@ func BenchSweepSpecs(simTime, warmup sim.Duration) ([]Spec, error) {
 // MeasureSweep runs specs once with one worker and once with jobs
 // workers, wall-clocks both, and cross-checks that the parallel execution
 // produced identical simulations (same total event count).
+//
+// The parallel pass only measures scaling when it runs at real
+// parallelism: jobs <= 1 re-times the sequential path, and jobs beyond
+// the machine measures scheduler churn (the committed record once
+// reported a 0.94x "speedup" from a -jobs 4 pass on GOMAXPROCS=1).
+// Both degenerate requests are therefore clamped to the full
+// runtime.GOMAXPROCS(0); an explicit 1 < jobs <= GOMAXPROCS is honored.
+//
+// Every measurement is repeated measureRounds times. The ratios the
+// record exists for — speedup, audit and metrics overhead — divide
+// walls that a naive pass-after-pass sweep measures tens of seconds
+// apart, and on shared hardware the clock drifts phase-like on exactly
+// that timescale: a single ordered sweep of passes routinely showed
+// ±10% "overhead" from an observational subsystem whose true cost is
+// ~1%. The three sequential variants are therefore timed cell by cell,
+// back to back (plain, audited, sampled — a fraction of a second per
+// triple, well inside one phase), and each cell contributes the triple
+// from its fastest-plain round, so every overhead ratio divides walls
+// from the same phase. The parallel pass overlaps cells across
+// workers, so it is timed whole and keeps its per-round minimum.
 func MeasureSweep(specs []Spec, jobs int) (SweepBench, error) {
-	if jobs <= 0 {
-		jobs = runtime.GOMAXPROCS(0)
+	const measureRounds = 2
+	if maxp := runtime.GOMAXPROCS(0); jobs <= 1 || jobs > maxp {
+		jobs = maxp
 	}
-	start := time.Now()
-	seq, err := RunSpecs(specs, 1)
-	if err != nil {
-		return SweepBench{}, err
-	}
-	wallSeq := time.Since(start).Seconds()
 
-	start = time.Now()
-	par, err := RunSpecs(specs, jobs)
-	if err != nil {
-		return SweepBench{}, err
-	}
-	wallPar := time.Since(start).Seconds()
-
-	// Third pass: sequential again but with the invariant auditor at its
-	// default sampling stride, to price the audit hooks. The auditor is
-	// observational, so every cell must reproduce the unaudited events.
+	// Audit pass spec: the invariant auditor at its default sampling
+	// stride prices the audit hooks. The auditor is observational, so
+	// every cell must reproduce the unaudited events.
 	audited := make([]Spec, len(specs))
 	for i, s := range specs {
 		s.AuditEvery = audit.DefaultSampleEvery
 		audited[i] = s
 	}
-	start = time.Now()
-	audres, err := RunSpecs(audited, 1)
-	if err != nil {
-		return SweepBench{}, err
-	}
-	wallAudit := time.Since(start).Seconds()
-
-	// Fourth pass: sequential with the metrics sampler at its default
-	// interval, to price the tick events and registry pulls. Sampling is
-	// observational but the ticks themselves are kernel events, so the
-	// cross-check below compares throughput, not event counts.
+	// Metrics pass spec: the sampler at its default interval prices the
+	// tick events and registry pulls. Sampling is observational but the
+	// ticks themselves are kernel events, so the cross-check below
+	// compares throughput, not event counts.
 	sampled := make([]Spec, len(specs))
 	for i, s := range specs {
 		s.MetricsInterval = metrics.DefaultInterval
 		sampled[i] = s
 	}
-	start = time.Now()
-	metres, err := RunSpecs(sampled, 1)
-	if err != nil {
-		return SweepBench{}, err
+
+	seq := make([]Result, len(specs))
+	audres := make([]Result, len(specs))
+	metres := make([]Result, len(specs))
+	seqW := make([]float64, len(specs))
+	audW := make([]float64, len(specs))
+	metW := make([]float64, len(specs))
+	var par []Result
+	var wallPar float64
+	timeCell := func(sp []Spec, i int, res []Result) (float64, error) {
+		start := time.Now()
+		r, err := RunSpecs(sp[i:i+1], 1)
+		if err != nil {
+			return 0, err
+		}
+		res[i] = r[0]
+		return time.Since(start).Seconds(), nil
 	}
-	wallMetrics := time.Since(start).Seconds()
+	for round := 0; round < measureRounds; round++ {
+		for i := range specs {
+			ws, err := timeCell(specs, i, seq)
+			if err != nil {
+				return SweepBench{}, err
+			}
+			wa, err := timeCell(audited, i, audres)
+			if err != nil {
+				return SweepBench{}, err
+			}
+			wm, err := timeCell(sampled, i, metres)
+			if err != nil {
+				return SweepBench{}, err
+			}
+			// Keep the triple from the round with the fastest plain
+			// cell: the three walls were measured back to back, so the
+			// audit/metrics walls come from the same clock phase as the
+			// denominator they will be divided by.
+			if round == 0 || ws < seqW[i] {
+				seqW[i], audW[i], metW[i] = ws, wa, wm
+			}
+		}
+		start := time.Now()
+		p, err := RunSpecs(specs, jobs)
+		if err != nil {
+			return SweepBench{}, err
+		}
+		if w := time.Since(start).Seconds(); round == 0 || w < wallPar {
+			par, wallPar = p, w
+		}
+	}
+	sum := func(ws []float64) float64 {
+		var t float64
+		for _, w := range ws {
+			t += w
+		}
+		return t
+	}
+	wallSeq := sum(seqW)
+	wallAudit := sum(audW)
+	wallMetrics := sum(metW)
 
 	var b SweepBench
 	b.Cells = len(specs)

@@ -143,10 +143,14 @@ type Link struct {
 	bwMode     int
 	bwTarget   int
 	bwTransEnd sim.Time
-	rooMode    int
-	state      State
-	forcedFull bool
-	offSeq     uint64
+	// wattsByMode[m] is FullWatts*PowerFactor(mech, m), precomputed so
+	// the per-event energy integrator doesn't re-derive the power factor
+	// (a float divide for VWL) on every call.
+	wattsByMode [NumBWModes]float64
+	rooMode     int
+	state       State
+	forcedFull  bool
+	offSeq      uint64
 
 	// Transmission state.
 	queue        []*packet.Packet
@@ -154,6 +158,18 @@ type Link struct {
 	inflight     *packet.Packet // the packet being serialized, reclaimed on Fail
 	idleSince    sim.Time
 	idleOpen     bool
+
+	// Pooled event actions. The transmit-completion, retry, and
+	// wake-completion events are singletons (the state machine allows at
+	// most one of each in flight), so they live inline in the Link;
+	// delivery events overlap across the SERDES pipeline and off-checks
+	// overlap through cancellation, so those draw from per-link free
+	// lists. Together they make steady-state scheduling allocation-free.
+	txDone      txDoneAction
+	retry       retryAction
+	wake        wakeAction
+	deliverFree []*deliverAction
+	offFree     []*offCheckAction
 
 	// Fault-injection state.
 	wakeExtra  sim.Duration // extra latency added to the next wakeup
@@ -216,6 +232,10 @@ func New(k *sim.Kernel, cfg Config, id int, dir Direction, owner, from, to, dept
 		rooMode:     ROOFullMode,
 		mon:         newMonitors(cfg.Mechanism, cfg.Wakeup),
 		lastAccount: k.Now(),
+	}
+	l.txDone.l, l.retry.l, l.wake.l = l, l, l
+	for m := 0; m < NumModes(cfg.Mechanism); m++ {
+		l.wattsByMode[m] = cfg.FullWatts * PowerFactor(cfg.Mechanism, m)
 	}
 	if cfg.BER > 0 {
 		if l.cfg.RetryDelay <= 0 {
@@ -508,13 +528,13 @@ func (l *Link) currentWatts(now sim.Time) float64 {
 	}
 	// During a bandwidth transition both configurations are partially
 	// powered; draw the higher of the two.
-	pf := PowerFactor(l.cfg.Mechanism, l.bwMode)
+	w := l.wattsByMode[l.bwMode]
 	if now <= l.bwTransEnd && l.bwTarget != l.bwMode {
-		if p2 := PowerFactor(l.cfg.Mechanism, l.bwTarget); p2 > pf {
-			pf = p2
+		if w2 := l.wattsByMode[l.bwTarget]; w2 > w {
+			w = w2
 		}
 	}
-	return l.cfg.FullWatts * pf
+	return w
 }
 
 // account integrates energy and state-time up to now. Every state change
@@ -633,48 +653,99 @@ func (l *Link) tryTransmit() {
 	ser := sim.Duration(float64(int64(FlitTimeFull)*int64(p.Flits()))/bw + 0.5)
 	end := now + ser
 	serdes := SERDESLatency(l.cfg.Mechanism, l.effBWLabel(now))
-	l.kernel.Schedule(end, func() {
-		if l.state == StateFailed {
-			return // Fail() already reclaimed the in-flight packet
-		}
-		l.account(end)
-		l.transmitting = false
-		l.inflight = nil
-		if l.corrupted(p) {
-			// CRC failure: put the packet back at the head and
-			// retransmit after the retry turnaround. Consecutive
-			// failures escalate (degrade → retrain → hard-fail)
-			// instead of spinning forever under a sustained burst.
-			l.retries++
-			l.queue = append(l.queue, nil)
-			copy(l.queue[1:], l.queue)
-			l.queue[0] = p
-			l.offSeq++ // keep ROO from sleeping mid-retry
-			l.crcStreak++
-			if l.crcStreak >= l.cfg.MaxCRCRetries {
-				l.escalate(end)
-				return
-			}
-			l.kernel.After(l.cfg.RetryDelay, l.tryTransmit)
+	l.txDone.p, l.txDone.end, l.txDone.serdes = p, end, serdes
+	l.kernel.ScheduleAction(end, &l.txDone)
+}
+
+// txDoneAction is the link's transmit-completion event. At most one
+// transmission is in flight per link (the transmitting flag), so a single
+// reusable value lives inline in the Link and scheduling it never
+// allocates.
+type txDoneAction struct {
+	l      *Link
+	p      *packet.Packet
+	end    sim.Time
+	serdes sim.Duration
+}
+
+func (a *txDoneAction) Act() { a.l.finishTransmit() }
+
+// retryAction re-attempts transmission after the CRC retry turnaround.
+// It is stateless, so the one inline value can back any number of
+// concurrently scheduled retries.
+type retryAction struct{ l *Link }
+
+func (a *retryAction) Act() { a.l.tryTransmit() }
+
+// deliverAction carries a serialized packet through the SERDES/router
+// pipeline to Deliver. Deliveries overlap (serialization of the next
+// packet starts before the previous one lands), so these are pooled on a
+// per-link free list rather than embedded.
+type deliverAction struct {
+	l *Link
+	p *packet.Packet
+}
+
+func (a *deliverAction) Act() {
+	l, p := a.l, a.p
+	a.p = nil
+	l.deliverFree = append(l.deliverFree, a)
+	p.Hops++
+	l.Deliver(p)
+}
+
+// finishTransmit completes serialization of the in-flight packet:
+// CRC-check it, then either hand it to the delivery pipeline and start
+// the next transmission, or put it back at the head and retry.
+func (l *Link) finishTransmit() {
+	p, end, serdes := l.txDone.p, l.txDone.end, l.txDone.serdes
+	if l.state == StateFailed {
+		return // Fail() already reclaimed the in-flight packet
+	}
+	if !l.transmitting || l.inflight != p {
+		return // stale: the link failed and was repaired mid-serialization
+	}
+	l.account(end)
+	l.transmitting = false
+	l.inflight = nil
+	if l.corrupted(p) {
+		// CRC failure: put the packet back at the head and
+		// retransmit after the retry turnaround. Consecutive
+		// failures escalate (degrade → retrain → hard-fail)
+		// instead of spinning forever under a sustained burst.
+		l.retries++
+		l.queue = append(l.queue, nil)
+		copy(l.queue[1:], l.queue)
+		l.queue[0] = p
+		l.offSeq++ // keep ROO from sleeping mid-retry
+		l.crcStreak++
+		if l.crcStreak >= l.cfg.MaxCRCRetries {
+			l.escalate(end)
 			return
 		}
-		// A clean transmission resets the escalation ladder.
-		l.crcStreak, l.escLevel = 0, 0
-		l.bytes += uint64(p.Bytes())
-		depart := end + serdes
-		l.mon.observeDeparture(p, depart-p.HopArrive)
-		// Delivery includes the receiving module's router traversal, so
-		// the receiver can act inline (one event per hop instead of two).
-		l.kernel.Schedule(depart+RouterLatency(), func() {
-			p.Hops++
-			l.Deliver(p)
-		})
-		if len(l.queue) > 0 {
-			l.tryTransmit()
-		} else {
-			l.enterIdle(end)
-		}
-	})
+		l.kernel.AfterAction(l.cfg.RetryDelay, &l.retry)
+		return
+	}
+	// A clean transmission resets the escalation ladder.
+	l.crcStreak, l.escLevel = 0, 0
+	l.bytes += uint64(p.Bytes())
+	depart := end + serdes
+	l.mon.observeDeparture(p, depart-p.HopArrive)
+	// Delivery includes the receiving module's router traversal, so
+	// the receiver can act inline (one event per hop instead of two).
+	var da *deliverAction
+	if n := len(l.deliverFree); n > 0 {
+		da, l.deliverFree = l.deliverFree[n-1], l.deliverFree[:n-1]
+	} else {
+		da = &deliverAction{l: l}
+	}
+	da.p = p
+	l.kernel.ScheduleAction(depart+RouterLatency(), da)
+	if len(l.queue) > 0 {
+		l.tryTransmit()
+	} else {
+		l.enterIdle(end)
+	}
 }
 
 // Escalation ladder rungs: each exhausted CRC retry streak moves the
@@ -714,7 +785,7 @@ func (l *Link) escalate(now sim.Time) {
 		l.esc.Degrades++
 		l.escLevel = escRetrain
 		l.SetBWMode(HalfWidthMode)
-		l.kernel.After(l.cfg.RetryDelay, l.tryTransmit)
+		l.kernel.AfterAction(l.cfg.RetryDelay, &l.retry)
 	case escRetrain:
 		l.esc.Retrains++
 		l.escLevel = escHardFail
@@ -796,29 +867,49 @@ func (l *Link) enterIdle(now sim.Time) {
 }
 
 // armOffCheck schedules a turn-off attempt after the idleness threshold.
+// Superseded checks (offSeq has moved on) stay scheduled and no-op when
+// they fire, so several can be pending at once; the actions come from a
+// per-link free list and each returns itself exactly once, when it fires.
 func (l *Link) armOffCheck(now sim.Time, after sim.Duration) {
 	if !l.cfg.ROO || l.forcedFull {
 		return
 	}
 	l.offSeq++
-	seq := l.offSeq
-	l.kernel.Schedule(now+after, func() {
-		if l.offSeq != seq || l.state != StateOn || l.transmitting || len(l.queue) > 0 {
-			return
-		}
-		if l.HoldOn != nil && l.HoldOn() {
-			// Vetoed; try again one threshold later (the veto holder
-			// also calls MaybeTurnOff when its condition clears).
-			l.armOffCheck(l.kernel.Now(), ROOThresholds[l.rooMode])
-			return
-		}
-		t := l.kernel.Now()
-		l.account(t)
-		l.setState(StateOff)
-		if l.OnTurnOff != nil {
-			l.OnTurnOff()
-		}
-	})
+	var a *offCheckAction
+	if n := len(l.offFree); n > 0 {
+		a, l.offFree = l.offFree[n-1], l.offFree[:n-1]
+	} else {
+		a = &offCheckAction{l: l}
+	}
+	a.seq = l.offSeq
+	l.kernel.ScheduleAction(now+after, a)
+}
+
+// offCheckAction is a pooled ROO turn-off attempt; seq cancels it if the
+// link saw traffic (or changed state) after it was armed.
+type offCheckAction struct {
+	l   *Link
+	seq uint64
+}
+
+func (a *offCheckAction) Act() {
+	l, seq := a.l, a.seq
+	l.offFree = append(l.offFree, a)
+	if l.offSeq != seq || l.state != StateOn || l.transmitting || len(l.queue) > 0 {
+		return
+	}
+	if l.HoldOn != nil && l.HoldOn() {
+		// Vetoed; try again one threshold later (the veto holder
+		// also calls MaybeTurnOff when its condition clears).
+		l.armOffCheck(l.kernel.Now(), ROOThresholds[l.rooMode])
+		return
+	}
+	t := l.kernel.Now()
+	l.account(t)
+	l.setState(StateOff)
+	if l.OnTurnOff != nil {
+		l.OnTurnOff()
+	}
 }
 
 // MaybeTurnOff turns the link off immediately if it is on, idle past its
@@ -867,26 +958,43 @@ func (l *Link) startWake() {
 	if l.OnWakeStart != nil {
 		l.OnWakeStart()
 	}
-	l.kernel.Schedule(now+wakeup, func() {
-		if l.state != StateWaking {
-			return // failed mid-wake
-		}
-		t := l.kernel.Now()
-		l.account(t)
-		if drop {
-			// Resynchronization failed; retry the whole wakeup.
-			l.setState(StateOff)
-			l.startWake()
-			return
-		}
-		l.setState(StateOn)
-		l.mon.epoch.Wakeups++
-		if len(l.queue) > 0 {
-			l.tryTransmit()
-		} else {
-			l.enterIdle(t)
-		}
-	})
+	l.wake.end, l.wake.drop = now+wakeup, drop
+	l.kernel.ScheduleAction(l.wake.end, &l.wake)
+}
+
+// wakeAction is the wake-completion event. The state machine admits one
+// wake at a time (off→waking, and waking ends before the next off), so a
+// single inline value suffices; end doubles as a staleness guard.
+type wakeAction struct {
+	l    *Link
+	end  sim.Time
+	drop bool
+}
+
+func (a *wakeAction) Act() { a.l.finishWake() }
+
+// finishWake completes resynchronization: the link comes on and drains
+// its buffer, or — on an injected wake drop — falls back to off and
+// retries the whole wakeup.
+func (l *Link) finishWake() {
+	if l.state != StateWaking || l.wake.end != l.kernel.Now() {
+		return // failed mid-wake, or superseded by a newer wakeup
+	}
+	t := l.kernel.Now()
+	l.account(t)
+	if l.wake.drop {
+		// Resynchronization failed; retry the whole wakeup.
+		l.setState(StateOff)
+		l.startWake()
+		return
+	}
+	l.setState(StateOn)
+	l.mon.epoch.Wakeups++
+	if len(l.queue) > 0 {
+		l.tryTransmit()
+	} else {
+		l.enterIdle(t)
+	}
 }
 
 // Wake proactively powers the link on (or keeps it on). On an off link it

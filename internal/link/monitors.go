@@ -91,6 +91,16 @@ type Monitors struct {
 	nModes int
 	virt   []virtQueue
 
+	// svcShort/svcLong[m] cache serializeTime for the two packet sizes
+	// the protocol has (1-flit headers, 5-flit data), and serdes[m]
+	// caches SERDESLatency — all three are pure functions of the mode,
+	// re-derived per arrival per virtual queue before, which made the
+	// float divide in serializeTime one of the hottest lines in the
+	// whole simulator.
+	svcShort [NumBWModes]sim.Duration
+	svcLong  [NumBWModes]sim.Duration
+	serdes   [NumBWModes]sim.Duration
+
 	epoch EpochCounters
 
 	// Wakeup-arrival sampling state.
@@ -171,13 +181,19 @@ func newMonitors(mech Mechanism, wakeup sim.Duration) *Monitors {
 		sampleEvery: 32,
 	}
 	m.epoch.VirtualReadLatency = make([]sim.Duration, n)
+	for mode := 0; mode < n; mode++ {
+		m.svcShort[mode] = serializeFlits(1, mech, mode)
+		m.svcLong[mode] = serializeFlits(1+packet.LineBytes/packet.FlitBytes, mech, mode)
+		m.serdes[mode] = SERDESLatency(mech, mode)
+	}
 	return m
 }
 
-// serializeTime is the time p occupies the link in mode m. SERDES is
-// pipeline latency, paid once per packet, never occupancy.
-func (mn *Monitors) serializeTime(p *packet.Packet, mode int) sim.Duration {
-	return sim.Duration(float64(int64(FlitTimeFull)*int64(p.Flits()))/BWFactor(mn.mech, mode) + 0.5)
+// serializeFlits is the time a packet of the given flit count occupies
+// the link in mode m. SERDES is pipeline latency, paid once per packet,
+// never occupancy.
+func serializeFlits(flits int, mech Mechanism, mode int) sim.Duration {
+	return sim.Duration(float64(int64(FlitTimeFull)*int64(flits))/BWFactor(mech, mode) + 0.5)
 }
 
 // observeArrival replays the arrival into every virtual queue and updates
@@ -190,9 +206,13 @@ func (mn *Monitors) observeArrival(now sim.Time, p *packet.Packet) {
 		mn.epoch.ReadPackets++
 	}
 
+	svcTab := &mn.svcLong
+	if p.Flits() == 1 {
+		svcTab = &mn.svcShort
+	}
 	for m := 0; m < mn.nModes; m++ {
 		q := &mn.virt[m]
-		svc := mn.serializeTime(p, m)
+		svc := svcTab[m]
 		if !isRead {
 			q.arriveWrite(now, svc)
 			continue
@@ -200,7 +220,7 @@ func (mn *Monitors) observeArrival(now sim.Time, p *packet.Packet) {
 		occ := q.occupancy(now)
 		wait, depart := q.arriveRead(now, svc)
 		// Latency = queueing + serialization + SERDES pipeline delay.
-		mn.epoch.VirtualReadLatency[m] += depart - now + SERDESLatency(mn.mech, m)
+		mn.epoch.VirtualReadLatency[m] += depart - now + mn.serdes[m]
 		if m == 0 && occ >= 3 {
 			mn.epoch.QueuedReads++
 			mn.epoch.QD += wait

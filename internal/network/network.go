@@ -82,6 +82,35 @@ type Module struct {
 	net         *Network
 	pendingDRAM []*packet.Packet
 	flitsRouted uint64
+	doneFree    []*dramDone
+}
+
+// dramDone is the pooled DRAM-completion object for one request packet:
+// it emits the read response (or retires the write), recycles the request
+// packet, and drains any vault-full backlog. One fires per accepted
+// access, so each returns itself to the module's free list exactly once.
+type dramDone struct {
+	m      *Module
+	p      *packet.Packet
+	isRead bool
+}
+
+func (dd *dramDone) AccessDone() {
+	m, p, isRead := dd.m, dd.p, dd.isRead
+	dd.p = nil
+	m.doneFree = append(m.doneFree, dd)
+	if isRead {
+		m.sendResponse(p)
+		m.net.putPacket(p)
+	} else {
+		m.net.writesDone++
+		m.net.writeHops += uint64(p.Hops)
+		if m.net.OnWriteComplete != nil {
+			m.net.OnWriteComplete(p)
+		}
+		m.net.putPacket(p)
+	}
+	m.drainPending()
 }
 
 // FlitsRouted returns the flits this module's router has handled.
@@ -107,6 +136,7 @@ type Network struct {
 	OnInject func(*packet.Packet)
 
 	buildTime  sim.Time
+	pktFree    []*packet.Packet
 	nextPktID  uint64
 	readsDone  uint64
 	writesDone uint64
@@ -298,6 +328,28 @@ func (n *Network) nextID() uint64 {
 	return n.nextPktID
 }
 
+// getPacket draws a packet from the free list (or allocates one); the
+// caller overwrites every field. Packets retired on the hot completion
+// paths come back through putPacket, so steady-state injection and
+// response generation allocate nothing; degradation-path packets (errors,
+// strands, drops) are simply left to the garbage collector, which keeps
+// every put site trivially single-shot.
+func (n *Network) getPacket() *packet.Packet {
+	if i := len(n.pktFree) - 1; i >= 0 {
+		p := n.pktFree[i]
+		n.pktFree = n.pktFree[:i]
+		return p
+	}
+	return new(packet.Packet)
+}
+
+// putPacket recycles a packet whose lifetime has ended. Completion
+// callbacks (OnReadComplete, OnWriteComplete, OnInject) must not retain
+// the packet past their return.
+func (n *Network) putPacket(p *packet.Packet) {
+	n.pktFree = append(n.pktFree, p)
+}
+
 // ModuleFor maps a physical address to its home module.
 func (n *Network) ModuleFor(addr uint64) int {
 	var m uint64
@@ -325,7 +377,8 @@ func (n *Network) InjectRead(addr uint64, core int) { n.InjectReadID(addr, core)
 // issuer can correlate it with the completion (Packet.Req on responses)
 // in an outstanding-request table.
 func (n *Network) InjectReadID(addr uint64, core int) uint64 {
-	p := &packet.Packet{
+	p := n.getPacket()
+	*p = packet.Packet{
 		ID:     n.nextID(),
 		Kind:   packet.ReadReq,
 		Src:    packet.ProcessorID,
@@ -347,7 +400,8 @@ func (n *Network) InjectWrite(addr uint64, core int) { n.InjectWriteID(addr, cor
 
 // InjectWriteID is InjectWrite returning the request's packet ID.
 func (n *Network) InjectWriteID(addr uint64, core int) uint64 {
-	p := &packet.Packet{
+	p := n.getPacket()
+	*p = packet.Packet{
 		ID:     n.nextID(),
 		Kind:   packet.WriteReq,
 		Src:    packet.ProcessorID,
@@ -435,19 +489,19 @@ func (m *Module) accessDRAM(p *packet.Packet) {
 }
 
 func (m *Module) tryDRAM(p *packet.Packet) bool {
-	isRead := p.Kind == packet.ReadReq
-	return m.DRAM.Access(p.Addr, isRead, func() {
-		if isRead {
-			m.sendResponse(p)
-		} else {
-			m.net.writesDone++
-			m.net.writeHops += uint64(p.Hops)
-			if m.net.OnWriteComplete != nil {
-				m.net.OnWriteComplete(p)
-			}
-		}
-		m.drainPending()
-	})
+	var dd *dramDone
+	if n := len(m.doneFree); n > 0 {
+		dd, m.doneFree = m.doneFree[n-1], m.doneFree[:n-1]
+	} else {
+		dd = &dramDone{m: m}
+	}
+	dd.p, dd.isRead = p, p.Kind == packet.ReadReq
+	if !m.DRAM.AccessAction(p.Addr, dd.isRead, dd) {
+		dd.p = nil
+		m.doneFree = append(m.doneFree, dd)
+		return false
+	}
+	return true
 }
 
 // drainPending retries packets that found their vault queue full.
@@ -464,7 +518,8 @@ func (m *Module) drainPending() {
 // sendResponse emits the read response toward the processor.
 func (m *Module) sendResponse(req *packet.Packet) {
 	n := m.net
-	resp := &packet.Packet{
+	resp := n.getPacket()
+	*resp = packet.Packet{
 		ID:     n.nextID(),
 		Kind:   packet.ReadResp,
 		Src:    m.ID,
@@ -513,6 +568,7 @@ func (n *Network) completeUpstream(p *packet.Packet) {
 	switch p.Kind {
 	case packet.ReadResp:
 		n.completeRead(p)
+		n.putPacket(p)
 	case packet.ReadErr:
 		n.readsFailed++
 		n.failLatSum += n.Kernel.Now() - p.Issued

@@ -2,21 +2,59 @@ package sim
 
 import "fmt"
 
-// CheckInvariants verifies the event queue's structural invariants: the
-// d-ary heap ordering over (at, seq) and that no pending event precedes
-// the current time. It is O(pending) and read-only — meant for the audit
-// layer's periodic sweeps, not the hot loop. A violation here means the
-// queue has been corrupted and every later event could run out of order.
+// CheckInvariants verifies the event queue's structural invariants: every
+// wheel-resident event lies within one revolution of now with its slot
+// sorted by at unless the slot is marked dirty (inserts are append-only
+// and a dirty slot is re-sorted when it reaches the head of the wheel),
+// the occupancy bitmap and event count agree with the slots, the
+// overflow heap keeps its d-ary ordering, and no pending event precedes
+// the current time. It is O(pending) and read-only — meant
+// for the audit layer's periodic sweeps, not the hot loop. A violation
+// here means the queue has been corrupted and every later event could run
+// out of order.
 func (k *Kernel) CheckInvariants() error {
-	n := len(k.events)
-	if n > 0 && k.events[0].at < k.now {
-		return fmt.Errorf("sim: head event at %s precedes now %s", k.events[0].at, k.now)
+	nowSlot := k.now >> granularityBits
+	resident := 0
+	for idx := range k.wheel {
+		s := &k.wheel[idx]
+		occupied := k.occupied[idx>>6]&(1<<uint(idx&63)) != 0
+		if occupied != (int(s.head) < len(s.ev)) {
+			return fmt.Errorf("sim: slot %d occupancy bit %v disagrees with %d pending events",
+				idx, occupied, len(s.ev)-int(s.head))
+		}
+		for i := int(s.head); i < len(s.ev); i++ {
+			e := &s.ev[i]
+			if e.at < k.now {
+				return fmt.Errorf("sim: slot %d event (at=%s) precedes now %s",
+					idx, e.at, k.now)
+			}
+			if slotDelta := (e.at >> granularityBits) - nowSlot; slotDelta >= numSlots {
+				return fmt.Errorf("sim: slot %d event (at=%s) lies %d slots past the wheel horizon",
+					idx, e.at, slotDelta-numSlots+1)
+			}
+			if int((e.at>>granularityBits)&slotMask) != idx {
+				return fmt.Errorf("sim: event (at=%s) filed in slot %d, belongs in %d",
+					e.at, idx, (e.at>>granularityBits)&slotMask)
+			}
+			if !s.dirty && i > int(s.head) && e.at < s.ev[i-1].at {
+				return fmt.Errorf("sim: slot %d order violated at %d (at=%s) vs (at=%s)",
+					idx, i, e.at, s.ev[i-1].at)
+			}
+		}
+		resident += len(s.ev) - int(s.head)
+	}
+	if resident != k.wheelCount {
+		return fmt.Errorf("sim: wheel holds %d events but count says %d", resident, k.wheelCount)
+	}
+	n := len(k.overflow)
+	if n > 0 && k.overflow[0].at < k.now {
+		return fmt.Errorf("sim: overflow head event at %s precedes now %s", k.overflow[0].at, k.now)
 	}
 	for i := 1; i < n; i++ {
 		p := (i - 1) / heapArity
-		if k.before(i, p) {
-			return fmt.Errorf("sim: heap order violated at index %d (at=%s seq=%d) vs parent %d (at=%s seq=%d)",
-				i, k.events[i].at, k.events[i].seq, p, k.events[p].at, k.events[p].seq)
+		if k.overflow[i].before(&k.overflow[p]) {
+			return fmt.Errorf("sim: overflow heap order violated at index %d (at=%s seq=%d) vs parent %d (at=%s seq=%d)",
+				i, k.overflow[i].at, k.overflow[i].seq, p, k.overflow[p].at, k.overflow[p].seq)
 		}
 	}
 	return nil

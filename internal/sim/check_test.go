@@ -26,9 +26,9 @@ func TestCheckInvariantsDetectsHeapCorruption(t *testing.T) {
 	for i := 0; i < 16; i++ {
 		k.Schedule(Time(i)*Microsecond, func() {})
 	}
-	// Corrupt the heap the way a buggy sift would: a child earlier than
-	// its parent.
-	k.events[0].at, k.events[5].at = k.events[5].at, k.events[0].at
+	// Corrupt the overflow heap the way a buggy sift would: a child
+	// earlier than its parent.
+	k.overflow[0].at, k.overflow[5].at = k.overflow[5].at, k.overflow[0].at
 	err := k.CheckInvariants()
 	if err == nil || !strings.Contains(err.Error(), "heap order") {
 		t.Fatalf("corrupted heap not detected: %v", err)

@@ -1,38 +1,180 @@
 package sim
 
-// event is a scheduled closure. seq breaks ties so that events scheduled
+import "math/bits"
+
+// Action is a unit of work the kernel can schedule without allocating: a
+// pointer-shaped value (pointer, func) converts to this interface with no
+// heap allocation, so hot paths schedule pooled Action structs where a
+// fresh closure would cost an allocation per event.
+type Action interface {
+	// Act runs the scheduled work. The kernel has already advanced its
+	// clock to the event's time when Act is called.
+	Act()
+}
+
+// funcAction adapts a plain closure to Action. Func values are
+// pointer-shaped, so the conversion does not allocate — Schedule(at, fn)
+// costs exactly what it did when the queue stored bare func()s.
+type funcAction func()
+
+func (f funcAction) Act() { f() }
+
+// event is a scheduled action. seq breaks ties so that events scheduled
 // for the same instant run in insertion order, keeping runs deterministic.
 type event struct {
 	at  Time
 	seq uint64
-	fn  func()
+	act Action
 }
 
-// heapArity is the fan-out of the event queue's d-ary heap. Four keeps the
-// tree half as deep as a binary heap for the same size, so the pop-side
-// sift-down — the expensive half of a discrete-event loop, where every
-// level is a round of dependent loads — touches fewer cache lines, while
-// the push-side sift-up still compares against a single parent per level.
-const heapArity = 4
+// before reports whether e must run before o: earlier time first,
+// insertion order within the same instant.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// Timing-wheel geometry. Most simulation events are short fixed-latency
+// hops — flit times (640 ps), SERDES/router latencies (a few ns), DRAM
+// timings and think jitter (tens of ns), plus the ROO off-check
+// thresholds (32 ns – 2.05 us) — so the wheel's horizon has to cover
+// that whole cluster: 1024 slots of 2048 ps span 2.1 us. Events past the
+// horizon (epoch ticks, burst phases, timeouts, watchdogs) go to a
+// spill-over min-heap; see DESIGN.md §12 for the determinism argument.
+const (
+	// granularityBits sets the slot width to 2^11 = 2048 ps. Wider slots
+	// mean a few distinct instants share a slot (the stable insert loop
+	// shifts them into place), but they shrink the slot-header array to
+	// 1024 entries — small enough to stay cache-resident, which matters
+	// more than shift-free inserts because inserts hash to effectively
+	// random slots.
+	granularityBits = 11
+	// slotBits sets the wheel size to 2^10 = 1024 slots: with 2048 ps
+	// slots the horizon is 2.1 us, wide enough that the longest ROO
+	// off-check (2048 ns) still files into the wheel instead of the
+	// spill-over heap.
+	slotBits = 10
+	numSlots = 1 << slotBits
+	slotMask = numSlots - 1
+	// bitmapWords is the occupancy bitmap size: one bit per slot.
+	bitmapWords = numSlots / 64
+	// slotCap is each slot's inline event capacity. Steady-state
+	// occupancy is a couple of events per occupied slot, so 4 covers
+	// almost every slot for the life of the run.
+	slotCap = 4
+	// spillCap is the capacity a slot jumps to when it outgrows its
+	// inline buffer. Pile-ups past slotCap are routine (a burst of
+	// same-window completions), and letting append ratchet 8 → 16 → 32
+	// as rare coincidences set new per-slot records kept a slow trickle
+	// of allocations going for the whole run; jumping straight to a
+	// depth records essentially never pass makes the spill a one-time
+	// warmup cost per slot (TestRunSteadyStateZeroAllocs holds the
+	// simulation to ~0 mallocs once warmed).
+	spillCap = 64
+)
+
+// wev is a wheel-resident event. Unlike the overflow heap's entries it
+// carries no sequence number: inserts are appended in schedule order and
+// the within-slot sort is stable on at, so slot order IS seq order — and
+// a wheel/overflow tie at the same instant always resolves to the
+// overflow side (see next), so no cross-structure seq comparison is ever
+// needed. Dropping the field cuts each entry to 24 bytes, which matters
+// because inserts hash to effectively random slots and the entry write
+// is usually a cache miss.
+type wev struct {
+	at  Time
+	act Action
+}
+
+// wheelSlot is one slot's pending events. Inserts are pure appends; the
+// dirty flag records whether an append broke at order, and next sorts
+// ev[head:] (stable, so same-instant events keep schedule order) the
+// moment the slot becomes the drain candidate. Deferring the sort moves
+// the shifting work from insert time — when the slot is a random, cold
+// cache line — to drain time, when the slot is about to be walked
+// anyway, and slots that fill in time order (the common case) never sort
+// at all. Retired entries before head are zeroed; the slice resets to
+// its start once drained, so steady state reuses each slot's backing
+// array with no allocation.
+//
+// ev initially aliases the inline buf, so the header and the entries an
+// insert touches share adjacent cache lines — inserts hash to
+// effectively random slots, and colocating storage with the header is
+// the difference between one cache miss and two on the hottest write in
+// the simulator. The rare slot that outgrows buf reallocates
+// independently and never returns. head is an int32 so the header packs
+// into the pad before buf, keeping the struct at two entries' worth of
+// header per four entries of storage.
+type wheelSlot struct {
+	ev    []wev
+	head  int32
+	dirty bool
+	buf   [slotCap]wev
+}
+
+// sortPending restores at order over the unread tail of the slot with a
+// stable binary-insertion sort. Stability is what carries the
+// determinism contract: array order among equal-at entries is schedule
+// (seq) order — appends arrive in seq order and a stable sort preserves
+// relative order — so no wheel entry ever needs a seq field.
+func (s *wheelSlot) sortPending() {
+	ev := s.ev
+	for i := int(s.head) + 1; i < len(ev); i++ {
+		e := ev[i]
+		j := i
+		for j > int(s.head) && ev[j-1].at > e.at {
+			ev[j] = ev[j-1]
+			j--
+		}
+		ev[j] = e
+	}
+	s.dirty = false
+}
 
 // Kernel is a discrete-event simulation engine. The zero value is ready to
 // use; Schedule events and call Run.
 //
-// The queue is a monomorphic heapArity-ary min-heap over []event ordered
-// by (at, seq). Keeping it concrete — rather than container/heap — removes
-// the interface boxing and virtual Push/Pop calls from the hottest path in
-// the simulator: steady-state Schedule+Step performs zero heap allocations
-// (see TestKernelScheduleStepZeroAllocs and BenchmarkKernelScheduleStep).
+// The queue is a hierarchical timing wheel: near-future events (within
+// numSlots slot widths of now) hash into wheel[at>>granularityBits &
+// slotMask], far-future events spill into a monomorphic 4-ary min-heap.
+// An event's slot position is unambiguous — the insert window is exactly
+// one revolution, so two resident events can never collide a lap apart —
+// and the next event is min(first occupied slot's head, heap head) with
+// same-instant ties resolving to the heap (see next), which preserves
+// the exact (at, seq) total order the deterministic-replay tests pin. Steady-state Schedule+Step performs
+// zero heap allocations (see TestKernelScheduleStepZeroAllocs and
+// BenchmarkKernelScheduleStep).
 type Kernel struct {
-	events []event
-	now    Time
-	seq    uint64
-	count  uint64
+	now   Time
+	seq   uint64
+	count uint64
+
+	// wheelCount is the number of events resident in the wheel; it
+	// short-circuits the bitmap scan when the wheel is empty.
+	wheelCount int
+	// overflow holds events at or beyond the wheel horizon. They are
+	// popped straight from the heap when their time comes — never
+	// migrated — so ordering needs no cascade step.
+	overflow heapQ
+	// occupied has one bit per slot, set while the slot holds events, so
+	// finding the next occupied slot is a word scan, not a slot walk.
+	occupied [bitmapWords]uint64
+	wheel    [numSlots]wheelSlot
 }
 
-// NewKernel returns a kernel with some event capacity preallocated.
+// NewKernel returns a kernel with some overflow capacity preallocated
+// and every wheel slot's ev aliasing its inline buffer — without that,
+// each slot's first events cost a growth chain of small allocations
+// (numSlots of them, per kernel), which dominated warmup in profiles.
 func NewKernel() *Kernel {
-	return &Kernel{events: make([]event, 0, 1024)}
+	k := &Kernel{overflow: make(heapQ, 0, 256)}
+	for i := range k.wheel {
+		s := &k.wheel[i]
+		s.ev = s.buf[:0:slotCap]
+	}
+	return k
 }
 
 // Now returns the current simulated time.
@@ -43,91 +185,151 @@ func (k *Kernel) Now() Time { return k.now }
 func (k *Kernel) Processed() uint64 { return k.count }
 
 // Pending returns the number of events still queued.
-func (k *Kernel) Pending() int { return len(k.events) }
-
-// before reports whether the event at index i must run before the one at
-// index j: earlier time first, insertion order within the same instant.
-func (k *Kernel) before(i, j int) bool {
-	a, b := &k.events[i], &k.events[j]
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-// push appends e and restores the heap by sifting it up.
-func (k *Kernel) push(e event) {
-	k.events = append(k.events, e)
-	i := len(k.events) - 1
-	for i > 0 {
-		p := (i - 1) / heapArity
-		if !k.before(i, p) {
-			break
-		}
-		k.events[i], k.events[p] = k.events[p], k.events[i]
-		i = p
-	}
-}
-
-// pop removes and returns the minimum event. The vacated slot at the old
-// tail is zeroed so the retired closure — and everything it captures — is
-// collectable immediately instead of being pinned by the backing array for
-// the rest of the run (the container/heap-era implementation leaked every
-// popped fn this way).
-func (k *Kernel) pop() event {
-	e := k.events[0]
-	n := len(k.events) - 1
-	k.events[0] = k.events[n]
-	k.events[n] = event{}
-	k.events = k.events[:n]
-	i := 0
-	for {
-		c := i*heapArity + 1
-		if c >= n {
-			break
-		}
-		end := c + heapArity
-		if end > n {
-			end = n
-		}
-		min := c
-		for j := c + 1; j < end; j++ {
-			if k.before(j, min) {
-				min = j
-			}
-		}
-		if !k.before(min, i) {
-			break
-		}
-		k.events[i], k.events[min] = k.events[min], k.events[i]
-		i = min
-	}
-	return e
-}
+func (k *Kernel) Pending() int { return k.wheelCount + len(k.overflow) }
 
 // Schedule runs fn at absolute time at. Scheduling in the past panics:
 // that is always a simulator bug, never a recoverable condition.
-func (k *Kernel) Schedule(at Time, fn func()) {
+func (k *Kernel) Schedule(at Time, fn func()) { k.ScheduleAction(at, funcAction(fn)) }
+
+// After runs fn d picoseconds from now.
+func (k *Kernel) After(d Duration, fn func()) { k.ScheduleAction(k.now+d, funcAction(fn)) }
+
+// AfterAction schedules a d picoseconds from now.
+func (k *Kernel) AfterAction(d Duration, a Action) { k.ScheduleAction(k.now+d, a) }
+
+// ScheduleAction runs a at absolute time at. Hot paths pass pooled
+// Action values here to keep steady state allocation-free; Schedule's
+// closure form wraps to the same path at no extra cost.
+func (k *Kernel) ScheduleAction(at Time, a Action) {
 	if at < k.now {
 		panic("sim: scheduling event in the past")
 	}
 	k.seq++
-	k.push(event{at: at, seq: k.seq, fn: fn})
+	if (at>>granularityBits)-(k.now>>granularityBits) < numSlots {
+		k.wheelInsert(at, a)
+	} else {
+		k.overflow.push(event{at: at, seq: k.seq, act: a})
+	}
 }
 
-// After runs fn d picoseconds from now.
-func (k *Kernel) After(d Duration, fn func()) { k.Schedule(k.now+d, fn) }
+// wheelInsert files the event into its slot. The slot is append-only:
+// an out-of-order arrival — possible only when two distinct instants
+// share a slot — just marks the slot dirty, and sortPending restores at
+// order when the slot reaches the head of the wheel. Same-instant events
+// keep schedule order without storing seq because appends arrive in seq
+// order and the deferred sort is stable.
+func (k *Kernel) wheelInsert(at Time, a Action) {
+	idx := int((at >> granularityBits) & slotMask)
+	s := &k.wheel[idx]
+	n := len(s.ev)
+	if int(s.head) == n {
+		// Fully drained: rewind so the backing array is reused in place.
+		s.ev = s.ev[:0]
+		s.head = 0
+		s.dirty = false
+		n = 0
+	}
+	if n == cap(s.ev) {
+		newCap := 2 * n
+		if newCap < spillCap {
+			newCap = spillCap
+		}
+		grown := make([]wev, n, newCap)
+		copy(grown, s.ev)
+		s.ev = grown
+	}
+	s.ev = append(s.ev, wev{at: at, act: a})
+	if n > int(s.head) && at < s.ev[n-1].at {
+		s.dirty = true
+	}
+	k.occupied[idx>>6] |= 1 << uint(idx&63)
+	k.wheelCount++
+}
+
+// wheelMinSlot returns the index of the occupied slot holding the
+// earliest wheel event. Every resident event lies within one revolution
+// ahead of now, so scanning the occupancy bitmap circularly from now's
+// slot visits slots in absolute-time order. Must not be called with an
+// empty wheel.
+func (k *Kernel) wheelMinSlot() int {
+	start := int((k.now >> granularityBits) & slotMask)
+	w0 := start >> 6
+	if word := k.occupied[w0] &^ (1<<uint(start&63) - 1); word != 0 {
+		return w0<<6 + bits.TrailingZeros64(word)
+	}
+	for i := 1; i < bitmapWords; i++ {
+		w := (w0 + i) & (bitmapWords - 1)
+		if word := k.occupied[w]; word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+	}
+	// Wrapped a full revolution: the earliest event is in the start
+	// word's low bits (slots just under one horizon ahead).
+	word := k.occupied[w0] & (1<<uint(start&63) - 1)
+	return w0<<6 + bits.TrailingZeros64(word)
+}
+
+// next locates the earliest pending event without removing it. slot is
+// the wheel slot index, or -1 when the minimum sits in the overflow heap.
+// A wheel/overflow tie at the same instant resolves to the overflow side:
+// an event only spills when its instant lies past the horizon, and the
+// horizon moves monotonically forward, so every overflow-resident event
+// at instant T was scheduled — and sequenced — before every wheel-resident
+// event at T. Locate and removal are split so Run can bounds-check the
+// next event with a single min-scan instead of a peek-then-pop pair.
+func (k *Kernel) next() (at Time, slot int, ok bool) {
+	if k.wheelCount == 0 {
+		if len(k.overflow) == 0 {
+			return 0, -1, false
+		}
+		return k.overflow[0].at, -1, true
+	}
+	idx := k.wheelMinSlot()
+	s := &k.wheel[idx]
+	if s.dirty {
+		s.sortPending()
+	}
+	at = s.ev[s.head].at
+	if len(k.overflow) > 0 && k.overflow[0].at <= at {
+		return k.overflow[0].at, -1, true
+	}
+	return at, idx, true
+}
+
+// take removes and returns the action of the event next located. The
+// vacated entry is zeroed so the retired action — and everything it
+// captures — is collectable immediately instead of being pinned by the
+// backing array for the rest of the run.
+func (k *Kernel) take(slot int) Action {
+	if slot < 0 {
+		return k.overflow.pop().act
+	}
+	s := &k.wheel[slot]
+	we := &s.ev[s.head]
+	a := we.act
+	*we = wev{}
+	s.head++
+	if int(s.head) == len(s.ev) {
+		s.ev = s.ev[:0]
+		s.head = 0
+		s.dirty = false
+		k.occupied[slot>>6] &^= 1 << uint(slot&63)
+	}
+	k.wheelCount--
+	return a
+}
 
 // Step executes the earliest pending event. It reports false if the queue
 // is empty.
 func (k *Kernel) Step() bool {
-	if len(k.events) == 0 {
+	at, slot, ok := k.next()
+	if !ok {
 		return false
 	}
-	e := k.pop()
-	k.now = e.at
+	a := k.take(slot)
+	k.now = at
 	k.count++
-	e.fn()
+	a.Act()
 	return true
 }
 
@@ -135,8 +337,15 @@ func (k *Kernel) Step() bool {
 // strictly after until; the clock is then advanced to until. Events at
 // exactly until are executed.
 func (k *Kernel) Run(until Time) {
-	for len(k.events) > 0 && k.events[0].at <= until {
-		k.Step()
+	for {
+		at, slot, ok := k.next()
+		if !ok || at > until {
+			break
+		}
+		a := k.take(slot)
+		k.now = at
+		k.count++
+		a.Act()
 	}
 	if k.now < until {
 		k.now = until

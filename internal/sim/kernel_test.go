@@ -127,7 +127,7 @@ func TestKernelDeterminism(t *testing.T) {
 	}
 }
 
-// TestKernelRandomOrderMatchesSort drives the 4-ary heap with random
+// TestKernelRandomOrderMatchesSort drives the event queue with random
 // schedule/step interleavings and checks events fire in nondecreasing time
 // with insertion order preserved within an instant — the full ordering
 // contract, against an oracle.
@@ -165,29 +165,44 @@ func TestKernelRandomOrderMatchesSort(t *testing.T) {
 // TestKernelStepClearsRetiredSlots is the regression test for the
 // container/heap-era leak where eventHeap.Pop left the popped slot's fn
 // alive in the backing array, pinning every retired closure's captured
-// state for the life of the run. The replacement heap must zero vacated
-// slots on pop.
+// state for the life of the run. Both queue halves — wheel slots and the
+// overflow heap — must zero vacated entries on pop.
 func TestKernelStepClearsRetiredSlots(t *testing.T) {
 	k := NewKernel()
 	for i := 0; i < 64; i++ {
 		payload := make([]byte, 1<<10) // captured state the slot would pin
 		k.Schedule(Time(i%7), func() { payload[0]++ })
 	}
+	for i := 0; i < 16; i++ {
+		payload := make([]byte, 1<<10)
+		// Far past the wheel horizon: exercises the overflow heap.
+		k.Schedule(Time(i)*Microsecond, func() { payload[0]++ })
+	}
 	k.RunAll()
-	spare := k.events[:cap(k.events)]
+	for idx := range k.wheel {
+		spare := k.wheel[idx].ev[:cap(k.wheel[idx].ev)]
+		for i := range spare {
+			if spare[i].act != nil || spare[i].at != 0 {
+				t.Fatalf("retired wheel slot %d entry %d still populated (at=%v act=%v)",
+					idx, i, spare[i].at, spare[i].act != nil)
+			}
+		}
+	}
+	spare := k.overflow[:cap(k.overflow)]
 	for i := range spare {
-		if spare[i].fn != nil || spare[i].at != 0 || spare[i].seq != 0 {
-			t.Fatalf("retired slot %d still populated (at=%v seq=%d fn=%v)",
-				i, spare[i].at, spare[i].seq, spare[i].fn != nil)
+		if spare[i].act != nil || spare[i].at != 0 || spare[i].seq != 0 {
+			t.Fatalf("retired overflow slot %d still populated (at=%v seq=%d act=%v)",
+				i, spare[i].at, spare[i].seq, spare[i].act != nil)
 		}
 	}
 }
 
 func nop() {}
 
-// TestKernelScheduleStepZeroAllocs proves the monomorphic heap's headline
-// property: once the backing array has grown, a schedule+step cycle
-// allocates nothing — no interface boxing, no container/heap indirection.
+// TestKernelScheduleStepZeroAllocs proves the queue's headline property:
+// once the wheel slots and overflow heap have grown, a schedule+step
+// cycle allocates nothing — no interface boxing, no container/heap
+// indirection.
 func TestKernelScheduleStepZeroAllocs(t *testing.T) {
 	k := NewKernel()
 	for i := 0; i < 4096; i++ {

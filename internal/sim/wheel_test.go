@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestWheelMatchesHeapOrdering is the differential property test for the
+// timing wheel: a Kernel (wheel + overflow) and a bare heapQ oracle are
+// driven with the same randomized schedule/pop script — deltas straddling
+// slot boundaries, the wheel horizon, and far-future spill-over, plus
+// same-instant ties — and must fire every event in the same (at, seq)
+// order.
+func TestWheelMatchesHeapOrdering(t *testing.T) {
+	// Deltas are picked to hit the interesting edges: zero (same-instant
+	// tie), sub-slot, exact slot width, hop/DRAM-scale, one slot under
+	// and over the 262 ns horizon, and far-future timers.
+	deltas := []Time{0, 1, 63, 64, 640, 3200, 40_000,
+		numSlots<<granularityBits - 1, numSlots << granularityBits,
+		numSlots<<granularityBits + 64, 1_000_000, 100_000_000}
+	for trial := uint64(0); trial < 10; trial++ {
+		rng := NewRNG(100 + trial)
+		k := NewKernel()
+		var h heapQ
+		var hnow Time
+		var hseq uint64
+		var got, want []int
+		id := 0
+		for op := 0; op < 5000; op++ {
+			if rng.Intn(3) > 0 {
+				d := deltas[rng.Intn(len(deltas))]
+				if rng.Intn(4) == 0 {
+					d += Time(rng.Intn(1000))
+				}
+				myID := id
+				id++
+				k.Schedule(k.Now()+d, func() { got = append(got, myID) })
+				hseq++
+				h.push(event{at: hnow + d, seq: hseq,
+					act: funcAction(func() { want = append(want, myID) })})
+			} else {
+				k.Step()
+				if len(h) > 0 {
+					e := h.pop()
+					hnow = e.at
+					e.act.Act()
+				}
+			}
+		}
+		k.RunAll()
+		for len(h) > 0 {
+			e := h.pop()
+			hnow = e.at
+			e.act.Act()
+		}
+		if len(got) != id || len(want) != id {
+			t.Fatalf("trial %d: fired %d/%d events, oracle %d", trial, len(got), id, len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: order diverges from heap oracle at %d: wheel fired #%d, heap #%d",
+					trial, i, got[i], want[i])
+			}
+		}
+		if k.Now() != hnow {
+			t.Fatalf("trial %d: clocks diverged: wheel %s, heap %s", trial, k.Now(), hnow)
+		}
+	}
+}
+
+// TestWheelOverflowSeqTieAtSameInstant pins the subtle ordering case the
+// two-structure design must get right: an event that spilled to the
+// overflow heap (scheduled far ahead, small seq) and a wheel-resident
+// event at the exact same instant (scheduled late, large seq) must still
+// fire in seq order — overflow first.
+func TestWheelOverflowSeqTieAtSameInstant(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	at := Time(1_000_000_000) // 1 ms: far past the horizon at schedule time
+	k.Schedule(at, func() { got = append(got, 1) })
+	k.Run(at - 10*Nanosecond)
+	// Now within the horizon: this lands in the wheel with a larger seq.
+	k.Schedule(at, func() { got = append(got, 2) })
+	k.Schedule(at+1, func() { got = append(got, 3) })
+	k.RunAll()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("overflow/wheel same-instant ordering wrong: %v", got)
+	}
+}
+
+// TestWheelFarFutureTimers exercises the spill-over path end to end:
+// timers far past the horizon fire in order and interleave correctly
+// with dense near-future traffic.
+func TestWheelFarFutureTimers(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	for _, at := range []Time{100 * Microsecond, 10 * Microsecond, Millisecond, 500} {
+		at := at
+		k.Schedule(at, func() { fired = append(fired, at) })
+	}
+	hops := 0
+	var hop func()
+	hop = func() {
+		hops++
+		if hops < 10000 {
+			k.After(640, hop) // flit-scale events throughout
+		}
+	}
+	k.Schedule(0, hop)
+	k.RunAll()
+	if hops != 10000 {
+		t.Fatalf("hops = %d, want 10000", hops)
+	}
+	wantOrder := []Time{500, 10 * Microsecond, 100 * Microsecond, Millisecond}
+	if len(fired) != len(wantOrder) {
+		t.Fatalf("fired %d timers, want %d", len(fired), len(wantOrder))
+	}
+	for i, at := range wantOrder {
+		if fired[i] != at {
+			t.Fatalf("timer order: fired[%d] = %s, want %s", i, fired[i], at)
+		}
+	}
+}
+
+// countAction is a pooled Action for the zero-alloc scheduling tests.
+type countAction struct{ n int }
+
+func (c *countAction) Act() { c.n++ }
+
+// TestKernelScheduleActionZeroAllocs proves the pooled-action path the
+// simulation layer's hot events use: scheduling a reusable Action value
+// allocates nothing at all, even before the queue has warmed up.
+func TestKernelScheduleActionZeroAllocs(t *testing.T) {
+	k := NewKernel()
+	act := &countAction{}
+	// Warm every wheel slot's backing array — one event per slot across a
+	// full revolution: steady state begins once every slot has grown.
+	for i := 0; i < numSlots; i++ {
+		k.AfterAction(Duration(i)<<granularityBits, act)
+	}
+	k.RunAll()
+	allocs := testing.AllocsPerRun(1000, func() {
+		k.AfterAction(100, act)
+		k.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("AfterAction+Step allocates %.1f objects/op, want 0", allocs)
+	}
+	if act.n == 0 {
+		t.Fatal("pooled action never ran")
+	}
+}
+
+// TestKernelOverflowScheduleStepZeroAllocs extends the steady-state
+// zero-alloc contract to the spill-over heap: once grown, far-future
+// scheduling is allocation-free too.
+func TestKernelOverflowScheduleStepZeroAllocs(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 512; i++ {
+		k.Schedule(Time(i)*Microsecond, nop)
+	}
+	allocs := testing.AllocsPerRun(400, func() {
+		k.Schedule(k.Now()+Millisecond, nop)
+		k.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("far-future schedule+step allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestCheckInvariantsOnPopulatedWheel drives a mixed near/far queue and
+// audits it at every step, then corrupts the structure and checks the
+// audit notices.
+func TestCheckInvariantsOnPopulatedWheel(t *testing.T) {
+	k := NewKernel()
+	rng := NewRNG(3)
+	for i := 0; i < 300; i++ {
+		d := Time(rng.Intn(200_000))
+		if rng.Intn(10) == 0 {
+			d += 10 * Microsecond
+		}
+		k.Schedule(k.Now()+d, nop)
+		if err := k.CheckInvariants(); err != nil {
+			t.Fatalf("invariants after schedule %d: %v", i, err)
+		}
+		if rng.Intn(3) == 0 {
+			k.Step()
+			if err := k.CheckInvariants(); err != nil {
+				t.Fatalf("invariants after step %d: %v", i, err)
+			}
+		}
+	}
+
+	// Corruption 1: an event filed past the horizon.
+	k2 := NewKernel()
+	k2.Schedule(100, nop)
+	k2.wheel[((100)>>granularityBits)&slotMask].ev[0].at = Time(numSlots<<granularityBits) * 10
+	if err := k2.CheckInvariants(); err == nil {
+		t.Error("horizon violation not detected")
+	}
+	// Corruption 2: occupancy bit cleared under a pending event.
+	k3 := NewKernel()
+	k3.Schedule(100, nop)
+	idx := (100 >> granularityBits) & slotMask
+	k3.occupied[idx>>6] &^= 1 << uint(idx&63)
+	if err := k3.CheckInvariants(); err == nil {
+		t.Error("occupancy desync not detected")
+	}
+	// Corruption 3: overflow heap order broken.
+	k4 := NewKernel()
+	for i := 1; i <= 8; i++ {
+		k4.Schedule(Time(i)*Millisecond, nop)
+	}
+	k4.overflow[0], k4.overflow[len(k4.overflow)-1] = k4.overflow[len(k4.overflow)-1], k4.overflow[0]
+	if err := k4.CheckInvariants(); err == nil {
+		t.Error("overflow heap disorder not detected")
+	}
+}

@@ -134,6 +134,60 @@ type FrontEnd struct {
 	pendingWrites map[uint64]struct{} // keyed access only — never iterated
 	timedOutIDs   []uint64
 	faults        FrontEndFaultStats
+
+	// Pooled event actions: one reusable issue event per slot (a slot has
+	// at most one pending issue/resume at a time), singleton burst-cycle
+	// events, and free lists for the overlapping timeout deadlines.
+	issueActs   []slotIssueAction
+	cycleAct    burstCycleAction
+	offAct      offPhaseAction
+	timeoutFree []*readTimeoutAction
+	wtoFree     []*writeTimeoutAction
+}
+
+// slotIssueAction is slot's reusable issue/resume event.
+type slotIssueAction struct {
+	fe   *FrontEnd
+	slot int
+}
+
+func (a *slotIssueAction) Act() { a.fe.issue(a.slot) }
+
+// burstCycleAction starts the next ON phase; offPhaseAction ends it. One
+// of each is pending at a time, so both live inline in the FrontEnd.
+type burstCycleAction struct{ fe *FrontEnd }
+
+func (a *burstCycleAction) Act() { a.fe.burstCycle() }
+
+type offPhaseAction struct{ fe *FrontEnd }
+
+func (a *offPhaseAction) Act() { a.fe.onPhase = false }
+
+// readTimeoutAction is a pooled read deadline. Stale deadlines overlap
+// (every retry arms a new one and bumps seq to cancel the old), so these
+// come from a free list; each fires exactly once and returns itself.
+type readTimeoutAction struct {
+	fe   *FrontEnd
+	slot int
+	seq  uint64
+}
+
+func (a *readTimeoutAction) Act() {
+	fe, slot, seq := a.fe, a.slot, a.seq
+	fe.timeoutFree = append(fe.timeoutFree, a)
+	fe.readTimeout(slot, seq)
+}
+
+// writeTimeoutAction is the pooled write-credit deadline.
+type writeTimeoutAction struct {
+	fe *FrontEnd
+	id uint64
+}
+
+func (a *writeTimeoutAction) Act() {
+	fe, id := a.fe, a.id
+	fe.wtoFree = append(fe.wtoFree, a)
+	fe.writeTimeout(id)
 }
 
 // ChannelBandwidthBytesPerSec is one direction of a full-width link.
@@ -253,6 +307,11 @@ func NewFrontEndOver(k *sim.Kernel, target Injector, p *Profile, cfg FrontEndCon
 	if fe.timeout > 0 {
 		fe.reads = make([]pendingRead, fe.slots)
 	}
+	fe.issueActs = make([]slotIssueAction, fe.slots)
+	for s := range fe.issueActs {
+		fe.issueActs[s] = slotIssueAction{fe: fe, slot: s}
+	}
+	fe.cycleAct.fe, fe.offAct.fe = fe, fe
 	return fe, nil
 }
 
@@ -275,34 +334,28 @@ func (fe *FrontEnd) Issued() (reads, writes uint64) {
 // staggered across one estimated latency to avoid lockstep.
 func (fe *FrontEnd) Start() {
 	if fe.profile.BurstDuty < 1 {
-		fe.scheduleBurstCycle()
+		fe.burstCycle()
 	}
 	for s := 0; s < fe.slots; s++ {
-		slot := s
 		delay := sim.Duration(fe.rng.Float64() * float64(fe.estLatency))
-		fe.kernel.After(delay, func() { fe.issue(slot) })
+		fe.kernel.AfterAction(delay, &fe.issueActs[s])
 	}
 }
 
-// scheduleBurstCycle toggles the ON/OFF phases forever.
-func (fe *FrontEnd) scheduleBurstCycle() {
+// burstCycle runs one ON/OFF toggle and reschedules itself forever.
+func (fe *FrontEnd) burstCycle() {
 	period := fe.profile.BurstPeriod
 	onSpan := sim.Duration(float64(period) * fe.profile.BurstDuty)
-	var cycle func()
-	cycle = func() {
-		fe.onPhase = true
-		// Release parked slots with a little jitter so the burst edge is
-		// sharp but not a single-instant spike.
-		for _, slot := range fe.parked {
-			s := slot
-			d := sim.FromNanos(fe.rng.Exp(fe.jitterMean / 4))
-			fe.kernel.After(d, func() { fe.issue(s) })
-		}
-		fe.parked = fe.parked[:0]
-		fe.kernel.After(onSpan, func() { fe.onPhase = false })
-		fe.kernel.After(period, cycle)
+	fe.onPhase = true
+	// Release parked slots with a little jitter so the burst edge is
+	// sharp but not a single-instant spike.
+	for _, slot := range fe.parked {
+		d := sim.FromNanos(fe.rng.Exp(fe.jitterMean / 4))
+		fe.kernel.AfterAction(d, &fe.issueActs[slot])
 	}
-	cycle()
+	fe.parked = fe.parked[:0]
+	fe.kernel.AfterAction(onSpan, &fe.offAct)
+	fe.kernel.AfterAction(period, &fe.cycleAct)
 }
 
 // Stop parks every slot permanently: no further accesses are issued, but
@@ -358,10 +411,16 @@ func (fe *FrontEnd) startRead(slot int, addr uint64) {
 }
 
 // armReadTimeout schedules the deadline for slot's current attempt. The
-// captured seq makes the event a no-op if the attempt resolves first.
+// carried seq makes the event a no-op if the attempt resolves first.
 func (fe *FrontEnd) armReadTimeout(slot int, d sim.Duration) {
-	seq := fe.reads[slot].seq
-	fe.kernel.After(d, func() { fe.readTimeout(slot, seq) })
+	var a *readTimeoutAction
+	if n := len(fe.timeoutFree); n > 0 {
+		a, fe.timeoutFree = fe.timeoutFree[n-1], fe.timeoutFree[:n-1]
+	} else {
+		a = &readTimeoutAction{fe: fe}
+	}
+	a.slot, a.seq = slot, fe.reads[slot].seq
+	fe.kernel.AfterAction(d, a)
 }
 
 // readTimeout fires when slot's read deadline expires: retry with doubled
@@ -395,20 +454,31 @@ func (fe *FrontEnd) readTimeout(slot int, seq uint64) {
 func (fe *FrontEnd) startWrite(addr uint64) {
 	id := fe.tracked.InjectWriteID(addr, -1)
 	fe.pendingWrites[id] = struct{}{}
-	fe.kernel.After(fe.timeout, func() {
-		if _, ok := fe.pendingWrites[id]; !ok {
-			return // completed in time
-		}
-		delete(fe.pendingWrites, id)
-		fe.faults.WriteTimeouts++
-		fe.releaseWriteCredit()
-	})
+	var a *writeTimeoutAction
+	if n := len(fe.wtoFree); n > 0 {
+		a, fe.wtoFree = fe.wtoFree[n-1], fe.wtoFree[:n-1]
+	} else {
+		a = &writeTimeoutAction{fe: fe}
+	}
+	a.id = id
+	fe.kernel.AfterAction(fe.timeout, a)
+}
+
+// writeTimeout reclaims the credit of a write whose completion never
+// arrived.
+func (fe *FrontEnd) writeTimeout(id uint64) {
+	if _, ok := fe.pendingWrites[id]; !ok {
+		return // completed in time
+	}
+	delete(fe.pendingWrites, id)
+	fe.faults.WriteTimeouts++
+	fe.releaseWriteCredit()
 }
 
 // resume schedules slot's next access after its think jitter.
 func (fe *FrontEnd) resume(slot int) {
 	think := sim.FromNanos(fe.rng.Exp(fe.jitterMean))
-	fe.kernel.After(think, func() { fe.issue(slot) })
+	fe.kernel.AfterAction(think, &fe.issueActs[slot])
 }
 
 // HandleReadComplete resumes the slot that owned the finished read. With
