@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench soak cover fuzz benchdiff distsmoke profile
+.PHONY: all check vet build test race bench soak cover fuzz benchdiff distsmoke daemonsmoke profile
 
 all: check
 
@@ -25,12 +25,15 @@ race:
 
 # soak runs the deterministic chaos campaigns under the race detector:
 # seeded random fail/burst/wake-fault/stall + repair schedules across all
-# four topologies (byte-identical replays required per seed), plus the
+# four topologies (byte-identical replays required per seed), the
 # distributed churn soak (seeded worker kills mid-sweep, byte-identical
-# merged journal required). Widen with MEMNET_SOAK_SEEDS=1,2,...,N.
+# merged journal required), and the daemon lifecycle soak (concurrent
+# submissions, mid-stream disconnects, drain under load; no goroutine
+# leaks, byte-identical cache hits). Widen with MEMNET_SOAK_SEEDS=1,...,N.
 soak:
 	$(GO) test -race -count=1 -run TestChaosSoak ./internal/fault/
 	$(GO) test -race -count=1 -run TestChurnSoak ./internal/dist/
+	$(GO) test -race -count=1 -run TestChaosSoak ./internal/serve/
 
 # distsmoke runs the real-process distributed sweep check: a coordinator,
 # two workers, one SIGKILLed mid-sweep and replaced, requiring the merged
@@ -38,6 +41,15 @@ soak:
 # for byte.
 distsmoke:
 	$(GO) test -count=1 -run TestDistributedSmoke ./cmd/experiments/
+
+# daemonsmoke runs the real-process memnetd lifecycle check: start the
+# daemon, submit and stream a sweep, verify the duplicate submission is
+# a cache hit, then SIGTERM it with a job in flight and require a clean
+# drain (prompt kernel cancellation, valid journal, exit <= 1). The
+# race detector rides along — the daemon is the most concurrent binary
+# in the repo.
+daemonsmoke:
+	$(GO) test -race -count=1 -run TestDaemonSmoke ./cmd/memnetd/
 
 # bench regenerates the paper-shaped testing.B benchmarks and writes the
 # machine-readable sweep-executor record (events/sec, wall time, speedup)

@@ -60,6 +60,7 @@ func TestBenchdiffVerdicts(t *testing.T) {
 		{"speedup collapse", func(b *exp.SweepBench) { b.Speedup = 1.0 }, true, "REGRESSED"},
 		{"metrics budget blown", func(b *exp.SweepBench) { b.MetricsOverhead = 0.11 }, true, "exceeds the 8% budget"},
 		{"audit budget blown", func(b *exp.SweepBench) { b.AuditOverhead = 0.09 }, true, "exceeds the 8% budget"},
+		{"cancel budget blown", func(b *exp.SweepBench) { b.CancelOverhead = 0.02 }, true, "exceeds the 1% budget"},
 		{"wall time is informational", func(b *exp.SweepBench) { b.WallSeqSec = 40 }, false, "within tolerance"},
 	}
 	for _, tc := range cases {

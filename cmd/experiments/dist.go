@@ -6,6 +6,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -83,7 +84,11 @@ func (d *distCoordinator) close() {
 // runWorkerMode joins the coordinator at url and executes cells until
 // the session completes. fallbackPath, when set, is the local salvage
 // journal for results the worker finished but could not deliver.
+// SIGINT/SIGTERM cancels the worker: the in-flight cell aborts at the
+// next kernel check and is reassigned when its lease expires.
 func runWorkerMode(url, fallbackPath string) {
+	ctx, stopSignals := interruptContext()
+	defer stopSignals()
 	var fb *exp.Journal
 	if fallbackPath != "" {
 		j, loaded, err := exp.OpenJournal(fallbackPath)
@@ -96,7 +101,7 @@ func runWorkerMode(url, fallbackPath string) {
 		}
 		fb = j
 	}
-	stats, err := dist.RunWorker(context.Background(), dist.WorkerConfig{
+	stats, err := dist.RunWorker(ctx, dist.WorkerConfig{
 		Coordinator: url,
 		Fallback:    fb,
 		Logf:        logfStderr,
@@ -106,6 +111,9 @@ func runWorkerMode(url, fallbackPath string) {
 	}
 	fmt.Printf("worker: ran %d cell(s), delivered %d, salvaged %d (%d RPC retries)\n",
 		stats.CellsRun, stats.CellsDelivered, stats.Salvaged, stats.RPCRetries)
+	if errors.Is(err, context.Canceled) {
+		exitInterrupted("worker: interrupted; abandoned cell will be reassigned when its lease expires")
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "worker: %v\n", err)
 		os.Exit(1)

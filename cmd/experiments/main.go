@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -136,7 +137,11 @@ func main() {
 	stopProfiles = stop
 	defer stopProfiles()
 
+	ctx, stopSignals := interruptContext()
+	defer stopSignals()
+
 	r := exp.NewRunner()
+	r.Ctx = ctx
 	if r.SimTime, err = parseDuration(*simtime); err != nil {
 		fmt.Fprintf(os.Stderr, "bad -simtime: %v\n", err)
 		os.Exit(1)
@@ -247,8 +252,29 @@ func main() {
 	}
 	// Cell failures (audit violations, stalls, recovered panics) are
 	// reported after rendering: the healthy cells still produce output.
+	// An interrupt is reported as a partial run, not a cell failure —
+	// completed cells are already journaled and a -journal rerun resumes
+	// from them.
 	reportFailures := func() {
 		fails := r.Failures()
+		if err := ctx.Err(); err != nil {
+			canceled := 0
+			for _, f := range fails {
+				if errors.Is(f.Err, context.Canceled) {
+					canceled++
+				}
+			}
+			summary := fmt.Sprintf("interrupted: %d cell(s) canceled mid-sweep", canceled)
+			if journal != nil {
+				journal.Close() // flush before os.Exit skips the defer
+				summary += fmt.Sprintf("; completed cells are journaled — rerun with -journal %s to resume",
+					*journalPath)
+			}
+			if dc != nil {
+				dc.close()
+			}
+			exitInterrupted(summary)
+		}
 		if len(fails) == 0 {
 			return
 		}

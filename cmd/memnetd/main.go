@@ -1,0 +1,153 @@
+// Command memnetd is the simulation daemon: a long-lived HTTP service
+// that accepts sweep submissions (the same JSON run lists `memnetsim
+// -config` reads), executes them on a bounded worker pool with per-job
+// budgets, streams progress and epoch metrics over SSE, and persists
+// every result in a content-addressed store so duplicate submissions
+// are cache hits.
+//
+// Quick start:
+//
+//	memnetd -addr :9732 -store /var/lib/memnetd &
+//	curl -s localhost:9732/jobs -d '{"runs":[{"workload":"mixB","simtime":"400us","warmup":"100us"}]}'
+//	curl -s localhost:9732/jobs/j1                # status
+//	curl -N  localhost:9732/jobs/j1/stream        # SSE progress + metrics
+//	curl -s  localhost:9732/jobs/j1/result        # final results
+//
+// SIGINT/SIGTERM drains gracefully: admission stops (/readyz goes 503),
+// in-flight jobs get -drain-grace to finish, anything still running is
+// then canceled (the kernel aborts within one check interval), the
+// journal is flushed, and the process exits 0 on a clean drain. A
+// second signal exits immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime/debug"
+	"syscall"
+	"time"
+
+	"memnet/internal/exp"
+	"memnet/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	// Same rationale as memnetsim: cell construction churns tens of MB,
+	// so a lazier GC trigger buys back collector cycles.
+	debug.SetGCPercent(600)
+
+	addr := flag.String("addr", ":9732", "listen address")
+	storeDir := flag.String("store", "", "content-addressed result store directory (required)")
+	journalPath := flag.String("journal", "", "append fresh results to this exp JSONL journal (flock-protected)")
+	queueDepth := flag.Int("queue", serve.DefaultQueueDepth, "admission queue depth (full = 429 + Retry-After)")
+	runners := flag.Int("runners", serve.DefaultRunners, "concurrent job executors")
+	wallBudget := flag.Duration("wall-budget", 0, "per-job wall-clock budget (0 = unlimited)")
+	eventBudget := flag.Uint64("event-budget", 0, "per-job simulated-event budget (0 = unlimited)")
+	checkEvery := flag.Uint64("check-every", 0, "kernel cancellation-check stride in events (0 = default)")
+	drainGrace := flag.Duration("drain-grace", 30*time.Second,
+		"how long in-flight jobs may run after SIGTERM before they are canceled")
+	verbose := flag.Bool("v", false, "log admissions and cell completions")
+	flag.Parse()
+
+	if *storeDir == "" {
+		log.Print("memnetd: -store is required (results must survive the process)")
+		return 2
+	}
+	if *queueDepth < 1 || *runners < 1 {
+		log.Print("memnetd: -queue and -runners must be at least 1")
+		return 2
+	}
+	store, err := serve.NewStore(*storeDir)
+	if err != nil {
+		log.Printf("memnetd: %v", err)
+		return 2
+	}
+	var journal *exp.Journal
+	if *journalPath != "" {
+		j, loaded, err := exp.OpenJournal(*journalPath)
+		if err != nil {
+			log.Printf("memnetd: %v", err)
+			return 2
+		}
+		journal = j
+		defer journal.Close()
+		if len(loaded) > 0 {
+			log.Printf("memnetd: journal %s holds %d completed run(s)", *journalPath, len(loaded))
+		}
+	}
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = log.Printf
+	}
+	srv := serve.New(serve.Config{
+		Store:       store,
+		Journal:     journal,
+		QueueDepth:  *queueDepth,
+		Runners:     *runners,
+		WallBudget:  *wallBudget,
+		EventBudget: *eventBudget,
+		CheckEvery:  *checkEvery,
+		Logf:        logf,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Printf("memnetd: %v", err)
+		return 2
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	// The resolved address goes to stderr so scripts (and the smoke test)
+	// can bind :0 and discover the port.
+	log.Printf("memnetd: listening on http://%s (store %s, queue %d, runners %d)",
+		ln.Addr(), *storeDir, *queueDepth, *runners)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("memnetd: %v: draining (grace %s; signal again to exit now)", sig, *drainGrace)
+	case err := <-serveErr:
+		log.Printf("memnetd: serve: %v", err)
+		return 1
+	}
+
+	// Second signal: abandon the drain.
+	go func() {
+		sig := <-sigCh
+		log.Printf("memnetd: %v again: exiting immediately", sig)
+		os.Exit(2)
+	}()
+
+	dctx, dcancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer dcancel()
+	drainErr := srv.Drain(dctx)
+
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	hs.Shutdown(sctx)
+
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr,
+		"memnetd: drained: %d submitted, %d cells run, %d cache hits, %d rejected, %d canceled\n",
+		st.Submitted, st.CellsRun, st.CacheHits, st.Rejected, st.Canceled)
+	if drainErr != nil && !errors.Is(drainErr, context.Canceled) {
+		log.Printf("memnetd: drain deadline hit; in-flight jobs were canceled")
+		return 1
+	}
+	return 0
+}

@@ -67,8 +67,13 @@ func serveBatch(addr string, lease time.Duration, specs []exp.Spec,
 // runWorkerMode joins the coordinator at url and executes cells until
 // the sweep completes (the lease TTL is the coordinator's to grant).
 // fallbackPath, when set, is the local salvage journal for results the
-// worker finished but could not deliver.
+// worker finished but could not deliver. SIGINT/SIGTERM cancels the
+// worker's context: the in-flight cell aborts at the next kernel check,
+// its lease expires and the coordinator reassigns it, and the worker
+// exits 130 after reporting what it delivered.
 func runWorkerMode(url, fallbackPath string) {
+	ctx, stopSignals := interruptContext()
+	defer stopSignals()
 	var fb *exp.Journal
 	if fallbackPath != "" {
 		j, loaded, err := exp.OpenJournal(fallbackPath)
@@ -80,7 +85,7 @@ func runWorkerMode(url, fallbackPath string) {
 		}
 		fb = j
 	}
-	stats, err := dist.RunWorker(context.Background(), dist.WorkerConfig{
+	stats, err := dist.RunWorker(ctx, dist.WorkerConfig{
 		Coordinator: url,
 		Fallback:    fb,
 		Logf: func(format string, args ...any) {
@@ -92,6 +97,9 @@ func runWorkerMode(url, fallbackPath string) {
 	}
 	fmt.Printf("worker: ran %d cell(s), delivered %d, salvaged %d (%d RPC retries)\n",
 		stats.CellsRun, stats.CellsDelivered, stats.Salvaged, stats.RPCRetries)
+	if errors.Is(err, context.Canceled) {
+		exitInterrupted("worker: interrupted; abandoned cell will be reassigned when its lease expires")
+	}
 	if err != nil {
 		log.Fatalf("worker: %v", err)
 	}

@@ -8,6 +8,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -167,11 +169,18 @@ func main() {
 		if *metricsOn {
 			log.Fatalf("bad -metrics: not supported with -sweepbench (it times its own metrics pass)")
 		}
+		// No interrupt context here on purpose: arming a cancelable
+		// kernel check is exactly the overhead the bench measures in a
+		// separate pass, so the timed runs stay unarmed.
 		runSweepBench(*sweepbench, *jobs)
 		return
 	}
+
+	ctx, stopSignals := interruptContext()
+	defer stopSignals()
+
 	if *config != "" {
-		runBatch(*config, *jobs, *auditEvery, *journalPath, retrainDur, *crcRetries, metricsIv, *metricsOut,
+		runBatch(ctx, *config, *jobs, *auditEvery, *journalPath, retrainDur, *crcRetries, metricsIv, *metricsOut,
 			*coordAddr, lease)
 		return
 	}
@@ -261,8 +270,13 @@ func main() {
 	}
 
 	start := time.Now()
-	res, err := exp.Run(spec)
+	res, err := exp.RunCtx(ctx, spec)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			exitInterrupted(fmt.Sprintf(
+				"interrupted after %.2fs wall; no result (single runs have nothing partial to keep)",
+				time.Since(start).Seconds()))
+		}
 		log.Fatal(err)
 	}
 	report(res, time.Since(start))
@@ -301,9 +315,12 @@ func writeMetricsFile(path string, entries []metrics.Entry) {
 // flips the exit status without aborting the remaining runs; with
 // -journal, completed runs are restored on restart instead of re-run.
 // With coordAddr the cells are served to distributed workers instead of
-// the local pool; the report and journal stay byte-identical.
-func runBatch(path string, jobs, auditEvery int, journalPath string, retrain sim.Duration, crcRetries int,
-	metricsIv sim.Duration, metricsOut string, coordAddr string, lease time.Duration) {
+// the local pool; the report and journal stay byte-identical. SIGINT or
+// SIGTERM cancels ctx: in-flight cells abort at the next kernel check,
+// completed runs stay journaled, and the process exits 130 after a
+// partial-results summary.
+func runBatch(ctx context.Context, path string, jobs, auditEvery int, journalPath string, retrain sim.Duration,
+	crcRetries int, metricsIv sim.Duration, metricsOut string, coordAddr string, lease time.Duration) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -349,7 +366,21 @@ func runBatch(path string, jobs, auditEvery int, journalPath string, retrain sim
 	if coordAddr != "" {
 		results, errs = serveBatch(coordAddr, lease, specs, j, loaded)
 	} else {
-		results, errs = exp.RunSpecsJournaled(specs, jobs, j, loaded)
+		results, errs = exp.RunSpecsJournaledCtx(ctx, specs, jobs, j, loaded)
+	}
+	if err := ctx.Err(); err != nil {
+		completed := 0
+		for _, e := range errs {
+			if e == nil {
+				completed++
+			}
+		}
+		summary := fmt.Sprintf("interrupted: %d of %d runs completed", completed, len(specs))
+		if j != nil {
+			j.Close() // flush before os.Exit skips the defer
+			summary += fmt.Sprintf("; rerun with -journal %s to resume", journalPath)
+		}
+		exitInterrupted(summary)
 	}
 	failed := 0
 	var entries []metrics.Entry

@@ -138,7 +138,7 @@ func runChurnSweep(t *testing.T, specs []exp.Spec, refResults []exp.Result, ref 
 				incarnation++
 				wctx, die := context.WithCancel(ctx)
 				ran := 0
-				run := func(s exp.Spec) (exp.Result, error) {
+				run := func(ctx context.Context, s exp.Spec) (exp.Result, error) {
 					res, err := exp.RunCell(s)
 					ran++
 					if ran >= quota && kills.Add(-1) >= 0 {
@@ -235,7 +235,7 @@ func TestWorkerDrainOnCoordinatorLoss(t *testing.T) {
 		Coordinator: srv.URL,
 		Name:        "lonely",
 		Fallback:    fb,
-		Run: func(s exp.Spec) (exp.Result, error) {
+		Run: func(_ context.Context, s exp.Spec) (exp.Result, error) {
 			// The coordinator dies while the cell runs.
 			srv.Close()
 			return res0, nil
@@ -252,6 +252,9 @@ func TestWorkerDrainOnCoordinatorLoss(t *testing.T) {
 		t.Fatalf("salvaged = %d, want 1; stats %+v", stats.Salvaged, stats)
 	}
 	// The salvage journal is a valid journal holding the finished cell.
+	// Close first: the journal flock (held per open handle) would reject
+	// a second opener while the worker's handle is live.
+	fb.Close()
 	_, loaded, err := exp.OpenJournal(fbPath)
 	if err != nil {
 		t.Fatalf("re-opening salvage journal: %v", err)

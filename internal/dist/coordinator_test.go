@@ -17,9 +17,9 @@ import (
 // fakeClock is a manually advanced clock for deterministic lease tests.
 type fakeClock struct{ now time.Time }
 
-func (f *fakeClock) Now() time.Time             { return f.now }
-func (f *fakeClock) Advance(d time.Duration)    { f.now = f.now.Add(d) }
-func newFakeClock() *fakeClock                  { return &fakeClock{now: time.Unix(1000, 0)} }
+func (f *fakeClock) Now() time.Time          { return f.now }
+func (f *fakeClock) Advance(d time.Duration) { f.now = f.now.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{now: time.Unix(1000, 0)} }
 func clockCfg(f *fakeClock, ttl time.Duration) Config {
 	return Config{LeaseTTL: ttl, Clock: f.Now}
 }

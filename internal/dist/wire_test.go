@@ -108,7 +108,7 @@ func TestWorkerHeartbeatsUnderShortLease(t *testing.T) {
 	stats, werr := RunWorker(ctx, WorkerConfig{
 		Coordinator: srv.URL,
 		Name:        "slow",
-		Run: func(s exp.Spec) (exp.Result, error) {
+		Run: func(_ context.Context, s exp.Spec) (exp.Result, error) {
 			time.Sleep(1200 * time.Millisecond) // several heartbeat intervals past the TTL
 			return res0, nil
 		},

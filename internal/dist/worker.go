@@ -52,9 +52,11 @@ type WorkerConfig struct {
 	// could not deliver before exiting — the local salvage journal. It
 	// may be shared by several workers (Journal.Append locks).
 	Fallback *exp.Journal
-	// Run executes one cell (default exp.RunCell; tests substitute
-	// instrumented runners).
-	Run func(exp.Spec) (exp.Result, error)
+	// Run executes one cell (default exp.RunCellCtx; tests substitute
+	// instrumented runners). The context is the worker's own: when the
+	// worker is killed mid-cell the simulation aborts within one kernel
+	// check interval instead of burning CPU on a lease nobody holds.
+	Run func(context.Context, exp.Spec) (exp.Result, error)
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -121,7 +123,7 @@ type worker struct {
 	retries int
 	backoff time.Duration
 	fb      *exp.Journal
-	run     func(exp.Spec) (exp.Result, error)
+	run     func(context.Context, exp.Spec) (exp.Result, error)
 	logf    func(string, ...any)
 	rng     *rand.Rand
 	stats   WorkerStats
@@ -159,7 +161,7 @@ func newWorker(cfg WorkerConfig) (*worker, error) {
 		w.backoff = DefaultBackoff
 	}
 	if w.run == nil {
-		w.run = exp.RunCell
+		w.run = exp.RunCellCtx
 	}
 	if w.logf == nil {
 		w.logf = func(string, ...any) {}
@@ -183,7 +185,7 @@ func (w *worker) runCell(ctx context.Context, claim ClaimResponse) error {
 	defer stopHB()
 	go w.heartbeatLoop(hbCtx, claim)
 	w.logf("dist: %s: running cell %d (%s)", w.name, claim.ID, claim.Key)
-	res, runErr := w.run(spec)
+	res, runErr := w.run(ctx, spec)
 	stopHB()
 	w.stats.CellsRun++
 	if err := ctx.Err(); err != nil {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"testing"
@@ -120,7 +121,7 @@ func TestAuditViolationFailsCellGracefully(t *testing.T) {
 	bad := tinySpec(core.PolicyNone, MechFP)
 	badKey := bad.key()
 	orig := runImpl
-	runImpl = func(s Spec) (Result, error) {
+	runImpl = func(_ context.Context, s Spec, _ Budget) (Result, error) {
 		if s.key() == badKey && s.Mech == MechFP && s.Policy == core.PolicyNone {
 			e := &audit.Error{Total: 1, Violations: []audit.Violation{
 				{Component: "link[0]", Rule: "buffer-bound", Time: 5 * sim.Microsecond, Detail: "synthetic"},

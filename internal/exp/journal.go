@@ -47,6 +47,12 @@ func OpenJournal(path string) (*Journal, map[string]Result, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	if err := lockJournal(f.Fd()); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal %s: already locked by another process (flock: %w); "+
+			"two writers interleaving appends would corrupt the journal — "+
+			"stop the other process or use a different journal path", path, err)
+	}
 	loaded := map[string]Result{}
 	var good int64 // offset just past the last fully parsed line
 	rd := bufio.NewReader(f)

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package exp
+
+// lockJournal is a no-op where flock is unavailable; the journal then
+// relies on the caller not sharing paths across processes.
+func lockJournal(fd uintptr) error { return nil }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -317,7 +318,7 @@ func TestRunSpecsJournaled(t *testing.T) {
 // *PanicError with a stack, and untouched neighbors.
 func TestRunSpecsAllContainsPanics(t *testing.T) {
 	orig := runImpl
-	runImpl = func(s Spec) (Result, error) {
+	runImpl = func(_ context.Context, s Spec, _ Budget) (Result, error) {
 		if s.SeedSalt == 1 {
 			panic("injected cell corruption")
 		}
@@ -353,7 +354,7 @@ func TestRunSpecsAllContainsPanics(t *testing.T) {
 func TestPrefetchSurvivesPanickingCell(t *testing.T) {
 	orig := runImpl
 	var poisoned string
-	runImpl = func(s Spec) (Result, error) {
+	runImpl = func(_ context.Context, s Spec, _ Budget) (Result, error) {
 		if s.key() == poisoned {
 			panic("poisoned cell")
 		}
@@ -381,4 +382,32 @@ func TestPrefetchSurvivesPanickingCell(t *testing.T) {
 	if !errors.As(fails[0].Err, &pe) {
 		t.Fatalf("failure error = %v, want *PanicError", fails[0].Err)
 	}
+}
+
+// TestOpenJournalFlockConflict pins the advisory-lock contract: while a
+// journal is open, a second OpenJournal on the same path — even from the
+// same process, since flock follows the open file description — must
+// fail with a clear message instead of interleaving appends.
+func TestOpenJournalFlockConflict(t *testing.T) {
+	path := t.TempDir() + "/locked.jsonl"
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if _, _, err := OpenJournal(path); err == nil {
+		t.Fatal("second OpenJournal succeeded; want flock conflict")
+	} else if !strings.Contains(err.Error(), "already locked") {
+		t.Fatalf("conflict error should name the lock: %v", err)
+	}
+	// Closing the first journal releases the lock and the path is
+	// reusable immediately.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	j2.Close()
 }

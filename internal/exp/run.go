@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"memnet/internal/audit"
@@ -251,8 +252,45 @@ var (
 	DefaultWarmup  = 100 * sim.Microsecond
 )
 
+// Budget bounds one run's resource consumption beyond what the spec
+// itself implies. The zero Budget is unlimited.
+type Budget struct {
+	// MaxEvents aborts the run once the kernel has processed this many
+	// events (0 = unlimited). The overrun is at most one check interval.
+	MaxEvents uint64
+	// CheckEvery is the cancellation/budget check stride in kernel events
+	// (0 = sim.DefaultCheckEvery). Smaller strides abort faster at a
+	// slightly higher per-event cost.
+	CheckEvery uint64
+}
+
+// BudgetError reports a run aborted for exceeding its event budget.
+type BudgetError struct {
+	Events    uint64
+	MaxEvents uint64
+}
+
+// Error implements error.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("event budget exhausted: %d events processed (budget %d)", e.Events, e.MaxEvents)
+}
+
 // Run executes one spec.
-func Run(spec Spec) (Result, error) {
+func Run(spec Spec) (Result, error) { return RunBudgeted(context.Background(), spec, Budget{}) }
+
+// RunCtx executes one spec under ctx: cancellation (client disconnect,
+// signal, deadline) stops the simulation within one kernel check
+// interval and returns ctx's error, so an abandoned run stops burning
+// CPU almost immediately instead of completing into the void.
+func RunCtx(ctx context.Context, spec Spec) (Result, error) {
+	return RunBudgeted(ctx, spec, Budget{})
+}
+
+// RunBudgeted is RunCtx with a resource budget enforced inside the
+// kernel's run loop. An aborted run returns an error wrapping ctx.Err()
+// or a *BudgetError; errors.Is(err, context.Canceled) therefore
+// identifies cancellations through every layer above.
+func RunBudgeted(ctx context.Context, spec Spec, budget Budget) (Result, error) {
 	if spec.Workload == nil {
 		return Result{}, fmt.Errorf("exp: spec needs a workload")
 	}
@@ -262,6 +300,22 @@ func Run(spec Spec) (Result, error) {
 	spec = spec.resolved()
 
 	kernel := sim.NewKernel()
+	// Arm the cooperative check only when there is something to enforce:
+	// a cancelable context (ctx.Done() non-nil) or an event budget. The
+	// unarmed hot loop pays a single predictable branch, so plain Run
+	// callers are unaffected (CancelOverhead in BENCH_sweep.json prices
+	// the armed case).
+	if ctx.Done() != nil || budget.MaxEvents > 0 {
+		kernel.SetCheck(budget.CheckEvery, func() error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if budget.MaxEvents > 0 && kernel.Processed() >= budget.MaxEvents {
+				return &BudgetError{Events: kernel.Processed(), MaxEvents: budget.MaxEvents}
+			}
+			return nil
+		})
+	}
 	nModules := spec.Workload.Modules(spec.Size.ChunkGB())
 	topo, err := topology.Build(spec.Topology, nModules)
 	if err != nil {
@@ -351,6 +405,9 @@ func Run(spec Spec) (Result, error) {
 	fe.Start()
 
 	kernel.Run(spec.Warmup)
+	if err := kernel.Err(); err != nil {
+		return Result{}, fmt.Errorf("exp: %s: aborted after %d events: %w", spec.key(), kernel.Processed(), err)
+	}
 	snap0 := net.TakeSnapshot()
 	net.LatencyHist().Reset()
 	aud.RunSweeps() // full pass at the warmup boundary (nil-safe)
@@ -358,6 +415,9 @@ func Run(spec Spec) (Result, error) {
 	// latency-histogram reset keeps its cumulative pulls monotone.
 	reg.Start(spec.Warmup + spec.SimTime)
 	kernel.Run(spec.Warmup + spec.SimTime)
+	if err := kernel.Err(); err != nil {
+		return Result{}, fmt.Errorf("exp: %s: aborted after %d events: %w", spec.key(), kernel.Processed(), err)
+	}
 	snap1 := net.TakeSnapshot()
 	if dog != nil {
 		dog.CheckDrained()
@@ -421,6 +481,12 @@ func Run(spec Spec) (Result, error) {
 type Runner struct {
 	SimTime sim.Duration
 	Warmup  sim.Duration
+	// Ctx, when non-nil, threads end-to-end cancellation through every
+	// cell the runner executes (locally or via the pool): canceling it
+	// aborts in-flight simulations within one kernel check interval and
+	// fails the remaining cells with the context's error. Nil means
+	// context.Background() — the legacy run-to-completion behavior.
+	Ctx context.Context
 	// Watchdog arms the no-progress detector on every run, so a hung
 	// sweep (or benchmark) fails fast with a diagnostic instead of
 	// spinning until an external timeout.
@@ -561,7 +627,7 @@ func (r *Runner) Run(spec Spec) Result {
 		r.recordMetrics(k, res)
 		return res
 	}
-	res, err := runCell(spec)
+	res, err := runCellCtx(r.ctx(), spec, Budget{})
 	if err != nil {
 		// A failed cell (audit violation, stall, or recovered panic) fails
 		// gracefully: record it, cache a placeholder so rendering
@@ -585,6 +651,14 @@ func (r *Runner) Run(spec Spec) Result {
 	r.cache[k] = res
 	r.recordMetrics(k, res)
 	return res
+}
+
+// ctx resolves the runner's context.
+func (r *Runner) ctx() context.Context {
+	if r.Ctx != nil {
+		return r.Ctx
+	}
+	return context.Background()
 }
 
 // CellFailure is one sweep cell that could not produce a result.

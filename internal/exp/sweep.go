@@ -16,6 +16,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -67,7 +68,7 @@ func (r *Runner) Prefetch(specs []Spec) {
 	if len(todo) == 0 {
 		return
 	}
-	results, errs := RunSpecsAll(todo, r.jobs())
+	results, errs := RunSpecsAllCtx(r.ctx(), todo, r.jobs())
 	r.commit(todo, results, errs, true)
 }
 
@@ -144,7 +145,7 @@ func (e *PanicError) Error() string {
 }
 
 // runImpl is swapped by tests to inject panicking/failing cells.
-var runImpl = Run
+var runImpl = RunBudgeted
 
 // RunCell executes one sweep cell with the standard panic containment:
 // a panic anywhere under Run comes back as a structured *PanicError
@@ -153,16 +154,34 @@ var runImpl = Run
 // the whole worker — on a corrupted simulation.
 func RunCell(spec Spec) (Result, error) { return runCell(spec) }
 
+// RunCellCtx is RunCell under a context: cancellation aborts the cell
+// within one kernel check interval. It is the entry point the daemon
+// (internal/serve) and the distributed worker use, so a dead client or
+// a dismissed worker stops consuming CPU promptly.
+func RunCellCtx(ctx context.Context, spec Spec) (Result, error) {
+	return runCellCtx(ctx, spec, Budget{})
+}
+
+// RunCellBudgeted is RunCellCtx with a resource budget (see RunBudgeted).
+func RunCellBudgeted(ctx context.Context, spec Spec, budget Budget) (Result, error) {
+	return runCellCtx(ctx, spec, budget)
+}
+
 // runCell executes one sweep cell, converting a panic anywhere under Run
 // into a structured *PanicError so a corrupted cell fails alone instead
 // of crashing the process (and, in the pool, the whole sweep).
 func runCell(spec Spec) (res Result, err error) {
+	return runCellCtx(context.Background(), spec, Budget{})
+}
+
+// runCellCtx is runCell's context/budget-threading core.
+func runCellCtx(ctx context.Context, spec Spec, budget Budget) (res Result, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			err = &PanicError{Value: v, Stack: string(debug.Stack())}
 		}
 	}()
-	return runImpl(spec)
+	return runImpl(ctx, spec, budget)
 }
 
 // RunSpecsAll executes specs with jobs parallel workers (<= 0 means
@@ -171,6 +190,25 @@ func runCell(spec Spec) (res Result, err error) {
 // the only shared state is the output slot each worker owns. Panics are
 // contained per cell (see runCell).
 func RunSpecsAll(specs []Spec, jobs int) ([]Result, []error) {
+	return RunSpecsAllCtx(context.Background(), specs, jobs)
+}
+
+// RunSpecsAllCtx is RunSpecsAll under a context: in-flight cells abort
+// within one kernel check interval of cancellation, and cells the pool
+// has not started yet fail immediately with ctx's error instead of
+// simulating — so an interrupted sweep hands back promptly with every
+// completed cell intact and every unfinished slot marked.
+func RunSpecsAllCtx(ctx context.Context, specs []Spec, jobs int) ([]Result, []error) {
+	return runSpecsAll(ctx, specs, jobs, nil)
+}
+
+// runSpecsAll is the shared sweep executor. onDone, when non-nil, is
+// called from the worker that ran cell i immediately after it settles —
+// the journaled path uses it to persist each result at completion time
+// rather than at sweep end, so a crash mid-sweep loses at most the
+// in-flight cells. It may rewrite the cell's error (journal failures).
+func runSpecsAll(ctx context.Context, specs []Spec, jobs int,
+	onDone func(i int, res Result, err error) error) ([]Result, []error) {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
@@ -179,9 +217,19 @@ func RunSpecsAll(specs []Spec, jobs int) ([]Result, []error) {
 	}
 	results := make([]Result, len(specs))
 	errs := make([]error, len(specs))
+	runOne := func(i int) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
+		results[i], errs[i] = runCellCtx(ctx, specs[i], Budget{})
+		if onDone != nil {
+			errs[i] = onDone(i, results[i], errs[i])
+		}
+	}
 	if jobs <= 1 {
-		for i, s := range specs {
-			results[i], errs[i] = runCell(s)
+		for i := range specs {
+			runOne(i)
 		}
 	} else {
 		var next atomic.Int64
@@ -195,7 +243,7 @@ func RunSpecsAll(specs []Spec, jobs int) ([]Result, []error) {
 					if i >= len(specs) {
 						return
 					}
-					results[i], errs[i] = runCell(specs[i])
+					runOne(i)
 				}
 			}()
 		}
@@ -227,6 +275,15 @@ func RunSpecs(specs []Spec, jobs int) ([]Result, error) {
 // appended to j before the function returns. Results stay in input
 // order; errs aligns with the input and is nil where the cell succeeded.
 func RunSpecsJournaled(specs []Spec, jobs int, j *Journal, loaded map[string]Result) ([]Result, []error) {
+	return RunSpecsJournaledCtx(context.Background(), specs, jobs, j, loaded)
+}
+
+// RunSpecsJournaledCtx is RunSpecsJournaled under a context. Each fresh
+// success is appended (and fsynced) the moment its cell completes, not
+// at sweep end, so a crash or interrupt loses at most the cells that
+// were still in flight. Canceled cells are not journaled — a resumed
+// sweep picks up exactly at the completion frontier.
+func RunSpecsJournaledCtx(ctx context.Context, specs []Spec, jobs int, j *Journal, loaded map[string]Result) ([]Result, []error) {
 	results := make([]Result, len(specs))
 	errs := make([]error, len(specs))
 	var todo []Spec
@@ -241,15 +298,18 @@ func RunSpecsJournaled(specs []Spec, jobs int, j *Journal, loaded map[string]Res
 		todo = append(todo, s)
 		todoIdx = append(todoIdx, i)
 	}
-	fresh, ferrs := RunSpecsAll(todo, jobs)
+	appendDone := func(t int, res Result, err error) error {
+		if err != nil || j == nil {
+			return err
+		}
+		if err := j.Append(todo[t].key(), res); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		return nil
+	}
+	fresh, ferrs := runSpecsAll(ctx, todo, jobs, appendDone)
 	for t, i := range todoIdx {
 		results[i], errs[i] = fresh[t], ferrs[t]
-		if errs[i] != nil || j == nil {
-			continue
-		}
-		if err := j.Append(todo[t].key(), fresh[t]); err != nil {
-			errs[i] = fmt.Errorf("journal: %w", err)
-		}
 	}
 	return results, errs
 }

@@ -1,0 +1,620 @@
+// Package serve is the memnetd daemon core: an overload-tolerant HTTP
+// front end over the exp harness. Submissions are JSON batches of
+// declarative specs (the same SpecJSON shape `memnetsim -config` reads);
+// admitted jobs run on a bounded worker pool with per-job wall/event
+// budgets and per-cell panic containment, stream their progress and
+// epoch metrics over SSE, and persist every fresh result in a
+// content-addressed store so duplicate submissions are cache hits served
+// without simulation.
+//
+// Robustness contracts, in priority order:
+//
+//   - Overload degrades, never topples. Admission is a bounded queue;
+//     when it is full the daemon answers 429 with Retry-After instead of
+//     queueing unboundedly, and when it is draining it answers 503.
+//   - Abandonment is cheap. Every job runs under a context; a canceled
+//     job (client disconnect on a streaming submit, DELETE, or drain
+//     timeout) stops consuming CPU within one kernel check interval.
+//   - A poisoned cell fails alone. Panics inside a simulation come back
+//     as exp.PanicError per cell; the job reports the failure and the
+//     daemon keeps serving.
+//   - Results survive the process. Fresh results are stored atomically
+//     (and journaled when a journal is attached) before the job
+//     completes, so a crash never re-simulates finished work.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memnet/internal/exp"
+	"memnet/internal/metrics"
+)
+
+// Defaults.
+const (
+	DefaultQueueDepth = 16
+	DefaultRunners    = 1
+	DefaultMaxBody    = 1 << 20
+	DefaultRetryAfter = 2 * time.Second
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Store persists results content-addressed by spec key (nil = no
+	// persistence, every submission simulates).
+	Store *Store
+	// Journal, when non-nil, receives every fresh result (exp JSONL
+	// format), so daemon results merge with CLI sweeps and survive
+	// crashes. The journal's flock guarantees no CLI can interleave.
+	Journal *exp.Journal
+	// QueueDepth bounds admitted-but-not-running jobs (0 =
+	// DefaultQueueDepth). A full queue rejects with 429 + Retry-After.
+	QueueDepth int
+	// Runners is the number of concurrent job executors (0 =
+	// DefaultRunners). Cells within a job run sequentially.
+	Runners int
+	// WallBudget caps a job's wall-clock runtime (0 = unlimited); the
+	// job is canceled mid-kernel when it expires.
+	WallBudget time.Duration
+	// EventBudget caps a job's total simulated events across its cells
+	// (0 = unlimited); exceeding it fails the job with a BudgetError.
+	EventBudget uint64
+	// CheckEvery is the kernel cancellation-check stride in events
+	// (0 = sim.DefaultCheckEvery).
+	CheckEvery uint64
+	// MaxBodyBytes bounds a submission body (0 = DefaultMaxBody).
+	MaxBodyBytes int64
+	// RetryAfter is the backpressure hint on 429 responses
+	// (0 = DefaultRetryAfter).
+	RetryAfter time.Duration
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Server owns the admission queue, the job table and the runner pool.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	runWG sync.WaitGroup
+
+	// admitMu serializes admission against drain: queue sends hold the
+	// read side so Drain can close the queue without racing a send.
+	admitMu  sync.RWMutex
+	queue    chan *job
+	draining atomic.Bool
+
+	jobMu  sync.Mutex
+	jobs   map[string]*job
+	nextID atomic.Uint64
+
+	// Daemon-level gauges/counters, sampled by the manual metrics
+	// registry and reported raw on /statusz.
+	submitted atomic.Uint64 // jobs admitted
+	rejected  atomic.Uint64 // 429s issued
+	cacheHits atomic.Uint64 // cells served from the store
+	cellsRun  atomic.Uint64 // cells simulated fresh
+	canceled  atomic.Uint64 // jobs canceled
+	inFlight  atomic.Int64  // jobs currently running
+
+	regMu sync.Mutex
+	reg   *metrics.Registry
+}
+
+// New builds a server and starts its runner pool. Callers must Drain
+// before discarding it, or the runners leak.
+func New(cfg Config) *Server {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.Runners <= 0 {
+		cfg.Runners = DefaultRunners
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBody
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		cfg:   cfg,
+		queue: make(chan *job, cfg.QueueDepth),
+		jobs:  map[string]*job{},
+	}
+	s.initMetrics()
+	s.initMux()
+	for i := 0; i < cfg.Runners; i++ {
+		s.runWG.Add(1)
+		go s.runner()
+	}
+	return s
+}
+
+// initMetrics registers the daemon gauges on a manual (wall-clock)
+// registry, mirroring the dist coordinator's style.
+func (s *Server) initMetrics() {
+	s.reg = metrics.NewManual(metrics.Config{})
+	s.reg.Counter("serve.jobs.submitted", func() float64 { return float64(s.submitted.Load()) })
+	s.reg.Counter("serve.jobs.rejected", func() float64 { return float64(s.rejected.Load()) })
+	s.reg.Counter("serve.jobs.canceled", func() float64 { return float64(s.canceled.Load()) })
+	s.reg.Counter("serve.cells.cache_hits", func() float64 { return float64(s.cacheHits.Load()) })
+	s.reg.Counter("serve.cells.run", func() float64 { return float64(s.cellsRun.Load()) })
+	s.reg.Gauge("serve.queue.depth", func() float64 { return float64(len(s.queue)) })
+	s.reg.Gauge("serve.jobs.in_flight", func() float64 { return float64(s.inFlight.Load()) })
+	s.reg.StartManual()
+}
+
+// Stats is the /statusz payload.
+type Stats struct {
+	Submitted uint64 `json:"submitted"`
+	Rejected  uint64 `json:"rejected"`
+	Canceled  uint64 `json:"canceled"`
+	CacheHits uint64 `json:"cache_hits"`
+	CellsRun  uint64 `json:"cells_run"`
+	QueueLen  int    `json:"queue_len"`
+	InFlight  int64  `json:"in_flight"`
+	Draining  bool   `json:"draining"`
+}
+
+// Stats snapshots the daemon counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Submitted: s.submitted.Load(),
+		Rejected:  s.rejected.Load(),
+		Canceled:  s.canceled.Load(),
+		CacheHits: s.cacheHits.Load(),
+		CellsRun:  s.cellsRun.Load(),
+		QueueLen:  len(s.queue),
+		InFlight:  s.inFlight.Load(),
+		Draining:  s.draining.Load(),
+	}
+}
+
+// Handler returns the daemon's HTTP mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) initMux() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	s.mux.HandleFunc("GET /statusz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	s.mux.HandleFunc("GET /metricsz", s.handleMetrics)
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+}
+
+// SubmitRequest is the POST /jobs body: the same declarative runs a
+// memnetsim config file holds, plus optional per-job budget overrides
+// (each capped by the server's own configured budget).
+type SubmitRequest struct {
+	Runs         []exp.SpecJSON `json:"runs"`
+	WallBudgetMS int64          `json:"wall_budget_ms,omitempty"`
+	EventBudget  uint64         `json:"event_budget,omitempty"`
+	// MetricsInterval ("10us"-style) arms the epoch-resolution sampler
+	// on every run; each fresh cell then emits a "metrics" stream event
+	// with its time-series dump. It participates in the spec key, so
+	// metrics-armed and plain submissions cache separately (exactly the
+	// exp.Spec contract).
+	MetricsInterval string `json:"metrics_interval,omitempty"`
+}
+
+// SubmitResponse acknowledges an admitted job.
+type SubmitResponse struct {
+	ID    string   `json:"id"`
+	State string   `json:"state"`
+	Keys  []string `json:"keys"`
+}
+
+// handleSubmit admits one job. With ?stream=1 the job is bound to the
+// request: the response is the job's SSE stream and a client disconnect
+// cancels the simulation (the end-to-end cancellation path).
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining: not admitting jobs", http.StatusServiceUnavailable)
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	var req SubmitRequest
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad submission: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Runs) == 0 {
+		http.Error(w, "bad submission: no runs", http.StatusBadRequest)
+		return
+	}
+	metricsInterval, err := exp.ParseSimDuration(req.MetricsInterval)
+	if err != nil {
+		http.Error(w, "bad submission: metrics_interval: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	specs := make([]exp.Spec, len(req.Runs))
+	keys := make([]string, len(req.Runs))
+	for i, sj := range req.Runs {
+		spec, err := sj.ToSpec()
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad submission: run %d: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		spec.MetricsInterval = metricsInterval
+		specs[i] = spec
+		keys[i] = spec.Key()
+	}
+
+	stream := r.URL.Query().Get("stream") == "1"
+	base := context.Background()
+	if stream {
+		// Bind the job to the request: a dropped client cancels the
+		// simulation within one kernel check interval.
+		base = r.Context()
+	}
+	wall := s.cfg.WallBudget
+	if req.WallBudgetMS > 0 {
+		reqWall := time.Duration(req.WallBudgetMS) * time.Millisecond
+		if wall == 0 || reqWall < wall {
+			wall = reqWall
+		}
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if wall > 0 {
+		ctx, cancel = context.WithTimeout(base, wall)
+	} else {
+		ctx, cancel = context.WithCancel(base)
+	}
+	id := fmt.Sprintf("j%d", s.nextID.Add(1))
+	j := newJob(id, keys, ctx, cancel)
+	j.specs = specs
+	j.eventBudget = s.cfg.EventBudget
+	if req.EventBudget > 0 && (j.eventBudget == 0 || req.EventBudget < j.eventBudget) {
+		j.eventBudget = req.EventBudget
+	}
+
+	// Admission: non-blocking send into the bounded queue under the
+	// read lock (Drain holds the write lock while closing the channel).
+	s.admitMu.RLock()
+	admitted := false
+	if !s.draining.Load() {
+		select {
+		case s.queue <- j:
+			admitted = true
+		default:
+		}
+	}
+	s.admitMu.RUnlock()
+	if !admitted {
+		cancel()
+		if s.draining.Load() {
+			http.Error(w, "draining: not admitting jobs", http.StatusServiceUnavailable)
+			return
+		}
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
+		http.Error(w, "queue full: retry later", http.StatusTooManyRequests)
+		return
+	}
+	s.jobMu.Lock()
+	s.jobs[id] = j
+	s.jobMu.Unlock()
+	s.submitted.Add(1)
+	s.cfg.Logf("serve: admitted %s (%d cells, stream=%v)", id, len(keys), stream)
+	j.publish("status", j.status(false))
+
+	if !stream {
+		writeJSON(w, http.StatusAccepted, SubmitResponse{ID: id, State: StateQueued, Keys: keys})
+		return
+	}
+	s.streamJob(w, r, j)
+}
+
+// lookup resolves {id} or answers 404.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	s.jobMu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.jobMu.Unlock()
+	if j == nil {
+		http.Error(w, "unknown job", http.StatusNotFound)
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookup(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.status(true))
+	}
+}
+
+// handleResult serves the job's per-cell results — the exact stored
+// bytes, so cached and fresh deliveries are byte-identical — once the
+// job is terminal; before that it answers 202 with the status.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	state := j.state
+	results := append([]json.RawMessage(nil), j.results...)
+	j.mu.Unlock()
+	if state != StateDone && state != StateFailed && state != StateCanceled {
+		writeJSON(w, http.StatusAccepted, j.status(false))
+		return
+	}
+	out := struct {
+		Status  Status            `json:"status"`
+		Results []json.RawMessage `json:"results"`
+	}{Status: j.status(true), Results: results}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookup(w, r); j != nil {
+		s.streamJob(w, r, j)
+	}
+}
+
+// handleCancel cancels a job; idempotent, 200 either way.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	s.cancelJob(j, "canceled by client")
+	writeJSON(w, http.StatusOK, j.status(false))
+}
+
+// cancelJob cancels j's context and, if j had not started, finishes it
+// immediately so it cannot occupy a runner.
+func (s *Server) cancelJob(j *job, why string) {
+	j.cancel()
+	if j.setStateIf(StateQueued, StateCanceled) {
+		s.canceled.Add(1)
+		j.finish(StateCanceled, why, j.status(false))
+	}
+}
+
+// streamJob writes the job's event log as SSE until the job finishes or
+// the client goes away.
+func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, j *job) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	replay, live := j.subscribe()
+	defer j.unsubscribe(live)
+	for _, ev := range replay {
+		writeSSE(w, ev)
+	}
+	fl.Flush()
+	if live == nil {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-live:
+			if !ok {
+				return
+			}
+			writeSSE(w, ev)
+			fl.Flush()
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, ev Event) {
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, ev.Data)
+}
+
+// handleMetrics dumps the daemon registry as JSON after taking one
+// fresh observation (manual registries sample on demand).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.regMu.Lock()
+	s.reg.Observe()
+	d := s.reg.Dump()
+	s.regMu.Unlock()
+	writeJSON(w, http.StatusOK, d)
+}
+
+// runner drains the admission queue until Drain closes it.
+func (s *Server) runner() {
+	defer s.runWG.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// cellResult is the payload of "result" stream events.
+type cellResult struct {
+	Index  int    `json:"index"`
+	Key    string `json:"key"`
+	Cached bool   `json:"cached"`
+	Error  string `json:"error,omitempty"`
+}
+
+// metricsEvent is the payload of "metrics" stream events: the epoch
+// time-series of one freshly simulated, metrics-armed cell.
+type metricsEvent struct {
+	Index int             `json:"index"`
+	Key   string          `json:"key"`
+	Dump  json.RawMessage `json:"dump"`
+}
+
+// runJob executes one job's cells sequentially: store lookup first
+// (cache hits never simulate), then a budgeted, cancelable, panic-
+// contained simulation; fresh results are persisted and journaled
+// before the next cell starts.
+func (s *Server) runJob(j *job) {
+	if !j.setStateIf(StateQueued, StateRunning) {
+		return // canceled while queued
+	}
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	j.publish("status", j.status(false))
+	remaining := j.eventBudget
+	failed := false
+	for i, spec := range j.specs {
+		if err := j.ctx.Err(); err != nil {
+			s.canceled.Add(1)
+			j.finish(StateCanceled, err.Error(), j.status(false))
+			return
+		}
+		key := j.keys[i]
+		if s.cfg.Store != nil {
+			raw, hit, err := s.cfg.Store.Get(key)
+			if err != nil {
+				s.cfg.Logf("serve: %s: store read for %s: %v", j.id, key, err)
+			} else if hit {
+				s.cacheHits.Add(1)
+				j.completeCell(i, raw, "", true)
+				continue
+			}
+		}
+		budget := exp.Budget{CheckEvery: s.cfg.CheckEvery}
+		if j.eventBudget > 0 {
+			if remaining == 0 {
+				j.completeCell(i, nil, "event budget exhausted", false)
+				failed = true
+				continue
+			}
+			budget.MaxEvents = remaining
+		}
+		res, err := exp.RunCellBudgeted(j.ctx, spec, budget)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				s.canceled.Add(1)
+				why := "canceled"
+				if errors.Is(err, context.DeadlineExceeded) {
+					why = "wall budget exhausted"
+				}
+				j.finish(StateCanceled, why, j.status(false))
+				return
+			}
+			// Budget overruns, audit violations and contained panics fail
+			// this cell only; the job carries on so independent cells
+			// still complete (mirroring the sweep pool's contract).
+			s.cfg.Logf("serve: %s: cell %s failed: %v", j.id, key, err)
+			j.completeCell(i, nil, err.Error(), false)
+			failed = true
+			continue
+		}
+		s.cellsRun.Add(1)
+		if j.eventBudget > 0 {
+			if res.Events >= remaining {
+				remaining = 0
+			} else {
+				remaining -= res.Events
+			}
+		}
+		raw, merr := json.Marshal(res)
+		if merr != nil {
+			j.completeCell(i, nil, "result not encodable: "+merr.Error(), false)
+			failed = true
+			continue
+		}
+		if s.cfg.Store != nil {
+			if err := s.cfg.Store.Put(key, raw); err != nil {
+				s.cfg.Logf("serve: %s: store write for %s: %v", j.id, key, err)
+			}
+		}
+		if s.cfg.Journal != nil {
+			if err := s.cfg.Journal.Append(key, res); err != nil {
+				s.cfg.Logf("serve: %s: journal append for %s: %v", j.id, key, err)
+			}
+		}
+		j.completeCell(i, raw, "", false)
+		if res.Metrics != nil {
+			if md, err := json.Marshal(res.Metrics); err == nil {
+				j.publish("metrics", metricsEvent{Index: i, Key: key, Dump: md})
+			}
+		}
+	}
+	if failed {
+		j.finish(StateFailed, "one or more cells failed", j.status(true))
+	} else {
+		j.finish(StateDone, "", j.status(false))
+	}
+}
+
+// Drain stops admission and waits for queued and running jobs to
+// finish. When ctx expires first, every remaining job is canceled and
+// the wait resumes until the runners exit (cancellation aborts each
+// kernel within one check interval, so this is prompt). Drain is
+// idempotent; it returns ctx's error when the deadline forced
+// cancellation.
+func (s *Server) Drain(ctx context.Context) error {
+	if s.draining.Swap(true) {
+		<-s.drained()
+		return nil
+	}
+	s.cfg.Logf("serve: draining: admission stopped")
+	// Close the queue so idle runners exit; in-flight sends are excluded
+	// by the write lock.
+	s.admitMu.Lock()
+	close(s.queue)
+	s.admitMu.Unlock()
+
+	select {
+	case <-s.drained():
+		return nil
+	case <-ctx.Done():
+	}
+	s.cfg.Logf("serve: drain deadline hit: canceling remaining jobs")
+	s.jobMu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.jobMu.Unlock()
+	for _, j := range jobs {
+		s.cancelJob(j, "canceled by drain deadline")
+	}
+	<-s.drained()
+	return ctx.Err()
+}
+
+// drained returns a channel closed when every runner has exited.
+func (s *Server) drained() <-chan struct{} {
+	ch := make(chan struct{})
+	go func() {
+		s.runWG.Wait()
+		close(ch)
+	}()
+	return ch
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}

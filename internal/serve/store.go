@@ -1,0 +1,115 @@
+// Content-addressed result store. Results are keyed by the canonical
+// exp.Spec.Key() and stored one file per cell under sha256(key), so a
+// duplicate submission — same spec, any order, any client — is a cache
+// hit served without simulation, byte-identical to the fresh run because
+// the store holds the exact JSON bytes the fresh run produced.
+//
+// Writes are atomic (tmp file + fsync + rename) so a daemon killed
+// mid-write leaves either the old entry or the new one, never a torn
+// file; Get re-verifies the embedded key so a hash collision or a
+// hand-edited file is detected instead of served.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Store is a directory of content-addressed simulation results.
+type Store struct {
+	dir string
+}
+
+// storeEntry is the on-disk envelope: the key rides along so Get can
+// verify the file really belongs to the requested spec.
+type storeEntry struct {
+	Key    string          `json:"key"`
+	Result json.RawMessage `json:"result"`
+}
+
+// NewStore opens (creating if needed) a store rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: store dir: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a spec key to its file. Keys are free-form strings (they
+// embed workload names and '|' separators), so the filename is the hex
+// sha256 of the key, never the key itself.
+func (s *Store) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// Get returns the stored result bytes for key, or ok=false when the key
+// has never been stored. A torn or mismatched file is reported as an
+// error, not silently served.
+func (s *Store) Get(key string) (json.RawMessage, bool, error) {
+	data, err := os.ReadFile(s.path(key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	var e storeEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false, fmt.Errorf("serve: store entry for %s is corrupt: %w", key, err)
+	}
+	if e.Key != key {
+		return nil, false, fmt.Errorf("serve: store entry key mismatch: have %q, want %q", e.Key, key)
+	}
+	return e.Result, true, nil
+}
+
+// Put stores the result bytes for key atomically: tmp file in the same
+// directory, fsync, rename. A concurrent Put of the same key is safe —
+// last rename wins and both carry identical content.
+func (s *Store) Put(key string, result json.RawMessage) error {
+	data, err := json.Marshal(storeEntry{Key: key, Result: result})
+	if err != nil {
+		return err
+	}
+	final := s.path(key)
+	tmp, err := os.CreateTemp(s.dir, ".put-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), final)
+}
+
+// Len counts stored entries (test and statusz helper).
+func (s *Store) Len() int {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".json" {
+			n++
+		}
+	}
+	return n
+}

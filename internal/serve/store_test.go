@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := NewStore(t.TempDir() + "/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "mixG/8GB|star|small|FP|full-power|0|0|20000|5000|false|false|0"
+	if _, ok, err := s.Get(key); err != nil || ok {
+		t.Fatalf("empty store Get = ok=%v err=%v", ok, err)
+	}
+	want := json.RawMessage(`{"Events":42,"Throughput":1.5}`)
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("stored bytes diverged: %s vs %s", got, want)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	// Re-put is idempotent.
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len after re-put = %d, want 1", s.Len())
+	}
+}
+
+// TestStoreKeyMismatch pins the verification contract: a file whose
+// embedded key does not match the requested key is an error, not a hit.
+func TestStoreKeyMismatch(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("key-a", json.RawMessage(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Graft key-a's file onto key-b's address.
+	data, err := os.ReadFile(s.path("key-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path("key-b"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get("key-b"); err == nil {
+		t.Fatal("mismatched entry served as a hit")
+	}
+}
+
+// TestStoreCorruptEntry pins that a torn file is reported, not served.
+func TestStoreCorruptEntry(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path("k"), []byte(`{"key":"k","resu`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get("k"); err == nil {
+		t.Fatal("corrupt entry served as a hit")
+	}
+}
+
+// TestStoreAtomicWriteLeavesNoTemp pins that Put cleans its temp files.
+func TestStoreAtomicWriteLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Put("k", json.RawMessage(`{"Events":1}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != ".json" {
+			t.Fatalf("leftover non-entry file %s", e.Name())
+		}
+	}
+}
