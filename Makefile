@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench soak cover fuzz benchdiff distsmoke daemonsmoke profile
+.PHONY: all check vet build test race bench soak cover fuzz benchdiff distsmoke daemonsmoke daemonrestartsmoke profile
 
 all: check
 
@@ -33,7 +33,7 @@ race:
 soak:
 	$(GO) test -race -count=1 -run TestChaosSoak ./internal/fault/
 	$(GO) test -race -count=1 -run TestChurnSoak ./internal/dist/
-	$(GO) test -race -count=1 -run TestChaosSoak ./internal/serve/
+	$(GO) test -race -count=1 -run 'TestChaosSoak|TestCrashRestartSoak' ./internal/serve/
 
 # distsmoke runs the real-process distributed sweep check: a coordinator,
 # two workers, one SIGKILLed mid-sweep and replaced, requiring the merged
@@ -50,6 +50,14 @@ distsmoke:
 # in the repo.
 daemonsmoke:
 	$(GO) test -race -count=1 -run TestDaemonSmoke ./cmd/memnetd/
+
+# daemonrestartsmoke is the crash-recovery counterpart: SIGKILL a real
+# memnetd with one job mid-kernel and one queued, restart it on the same
+# store, and require both jobs to finish under their original IDs, the
+# first life's stored result to come back as a byte-identical cache hit
+# (no duplicate simulation), and the accept journal to owe nothing.
+daemonrestartsmoke:
+	$(GO) test -race -count=1 -run TestDaemonRestartSmoke ./cmd/memnetd/
 
 # bench regenerates the paper-shaped testing.B benchmarks and writes the
 # machine-readable sweep-executor record (events/sec, wall time, speedup)

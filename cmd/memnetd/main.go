@@ -30,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime/debug"
 	"syscall"
 	"time"
@@ -50,6 +51,12 @@ func run() int {
 	addr := flag.String("addr", ":9732", "listen address")
 	storeDir := flag.String("store", "", "content-addressed result store directory (required)")
 	journalPath := flag.String("journal", "", "append fresh results to this exp JSONL journal (flock-protected)")
+	acceptPath := flag.String("accept-journal", "",
+		"write-ahead accept journal path (default <store>/accept.wal; \"off\" disables crash recovery)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "store size cap in bytes; LRU eviction above it (0 = unlimited)")
+	storeMaxAge := flag.Duration("store-max-age", 0, "evict store entries not hit for this long (0 = keep forever)")
+	authToken := flag.String("auth-token", "",
+		"shared secret; when set, POST /jobs and DELETE /jobs/{id} require 'Authorization: Bearer <token>'")
 	queueDepth := flag.Int("queue", serve.DefaultQueueDepth, "admission queue depth (full = 429 + Retry-After)")
 	runners := flag.Int("runners", serve.DefaultRunners, "concurrent job executors")
 	wallBudget := flag.Duration("wall-budget", 0, "per-job wall-clock budget (0 = unlimited)")
@@ -68,10 +75,33 @@ func run() int {
 		log.Print("memnetd: -queue and -runners must be at least 1")
 		return 2
 	}
+	if *storeMaxBytes < 0 || *storeMaxAge < 0 {
+		log.Print("memnetd: -store-max-bytes and -store-max-age must not be negative")
+		return 2
+	}
 	store, err := serve.NewStore(*storeDir)
 	if err != nil {
 		log.Printf("memnetd: %v", err)
 		return 2
+	}
+	// Startup fsck: verify every entry (embedded key + payload checksum),
+	// quarantine what fails, sweep temp files a crash mid-Put leaked.
+	rep, err := store.Fsck()
+	if err != nil {
+		log.Printf("memnetd: store fsck: %v", err)
+		return 2
+	}
+	log.Printf("memnetd: fsck: %d entries (%d bytes) ok, %d quarantined, %d stale temp file(s) removed",
+		rep.Entries, rep.Bytes, rep.Quarantined, rep.TempsRemoved)
+	if *storeMaxBytes > 0 || *storeMaxAge > 0 {
+		evicted, err := store.GC(serve.GCConfig{MaxBytes: *storeMaxBytes, MaxAge: *storeMaxAge})
+		if err != nil {
+			log.Printf("memnetd: store gc: %v", err)
+			return 2
+		}
+		if evicted > 0 {
+			log.Printf("memnetd: gc: evicted %d entr(ies) at startup", evicted)
+		}
 	}
 	var journal *exp.Journal
 	if *journalPath != "" {
@@ -86,21 +116,45 @@ func run() int {
 			log.Printf("memnetd: journal %s holds %d completed run(s)", *journalPath, len(loaded))
 		}
 	}
+	var accepts *serve.AcceptLog
+	var pending []serve.AcceptedJob
+	if *acceptPath != "off" {
+		path := *acceptPath
+		if path == "" {
+			path = filepath.Join(*storeDir, "accept.wal")
+		}
+		a, p, err := serve.OpenAcceptLog(path, nil)
+		if err != nil {
+			log.Printf("memnetd: %v", err)
+			return 2
+		}
+		accepts, pending = a, p
+		defer accepts.Close()
+	}
 
 	logf := func(string, ...any) {}
 	if *verbose {
 		logf = log.Printf
 	}
 	srv := serve.New(serve.Config{
-		Store:       store,
-		Journal:     journal,
-		QueueDepth:  *queueDepth,
-		Runners:     *runners,
-		WallBudget:  *wallBudget,
-		EventBudget: *eventBudget,
-		CheckEvery:  *checkEvery,
-		Logf:        logf,
+		Store:         store,
+		Journal:       journal,
+		Accepts:       accepts,
+		AuthToken:     *authToken,
+		StoreMaxBytes: *storeMaxBytes,
+		StoreMaxAge:   *storeMaxAge,
+		QueueDepth:    *queueDepth,
+		Runners:       *runners,
+		WallBudget:    *wallBudget,
+		EventBudget:   *eventBudget,
+		CheckEvery:    *checkEvery,
+		Logf:          logf,
 	})
+	// Replay accepted-but-unfinished jobs before taking traffic: stored
+	// cells come back as cache hits, only lost compute re-runs.
+	if n := srv.Recover(pending); n > 0 {
+		log.Printf("memnetd: recovered %d job(s) from the accept journal", n)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -143,8 +197,10 @@ func run() int {
 
 	st := srv.Stats()
 	fmt.Fprintf(os.Stderr,
-		"memnetd: drained: %d submitted, %d cells run, %d cache hits, %d rejected, %d canceled\n",
-		st.Submitted, st.CellsRun, st.CacheHits, st.Rejected, st.Canceled)
+		"memnetd: drained: %d submitted, %d recovered, %d cells run, %d cache hits, %d rejected, %d canceled, "+
+			"%d quarantined, %d evicted, %d store put errors\n",
+		st.Submitted, st.Recovered, st.CellsRun, st.CacheHits, st.Rejected, st.Canceled,
+		st.Quarantined, st.Evictions, st.StorePutErrors)
 	if drainErr != nil && !errors.Is(drainErr, context.Canceled) {
 		log.Printf("memnetd: drain deadline hit; in-flight jobs were canceled")
 		return 1

@@ -109,6 +109,13 @@ func (j *Journal) Append(key string, res Result) error {
 // Path returns the journal's file path.
 func (j *Journal) Path() string { return j.path }
 
+// LockFile takes the journal subsystem's advisory single-writer lock on
+// an open file descriptor (non-blocking flock on unix, no-op elsewhere).
+// Exported so other append-only durable files — the daemon's accept
+// journal — share exactly this protocol: the lock dies with the process,
+// so a crashed holder never wedges the path.
+func LockFile(fd uintptr) error { return lockJournal(fd) }
+
 // Close releases the journal file.
 func (j *Journal) Close() error {
 	j.mu.Lock()

@@ -1,0 +1,176 @@
+// Write-ahead accept journal: the durable record of every submission
+// the daemon has acknowledged. One JSON line is fsynced per admitted
+// job *before* the 202 goes out, and one tombstone line when the job
+// reaches a terminal state, so after a SIGKILL the set
+// "accepted minus tombstoned" is exactly the work still owed. Startup
+// replays that set and re-enqueues it; cells whose results already
+// reached the store come back as cache hits, so a crash loses at most
+// in-flight compute, never a submission.
+//
+// Format notes, in the style of exp.Journal (whose flock protocol this
+// file reuses via exp.LockFile):
+//
+//   - A crash mid-append leaves at most one partial final line;
+//     OpenAcceptLog truncates the torn tail and keeps everything before
+//     it. Accept/tombstone pairs may appear in either order (the runner
+//     can finish a job before its accept record hits the disk), so
+//     replay resolves the whole file before deciding what is pending.
+//   - The file is compacted only when it is fully drained (no pending
+//     jobs): then a truncate-to-zero is trivially crash-safe. A file
+//     with pending records is never rewritten in place — the journal
+//     grows until its jobs finish, then resets on the next open.
+//   - Jobs whose tombstone append failed (full disk) are replayed and
+//     re-enqueued; re-running a finished job is all cache hits, so the
+//     degradation costs a store read per cell, not a simulation.
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"memnet/internal/exp"
+)
+
+// AcceptedJob is the durable form of one admitted submission: enough to
+// rebuild the job's specs, budgets and id bit-exactly on restart.
+type AcceptedJob struct {
+	ID              string         `json:"id"`
+	Runs            []exp.SpecJSON `json:"runs"`
+	WallBudgetMS    int64          `json:"wall_budget_ms,omitempty"`
+	EventBudget     uint64         `json:"event_budget,omitempty"`
+	MetricsInterval string         `json:"metrics_interval,omitempty"`
+}
+
+// acceptRecord is one line of the file: an accept (Job != nil) or a
+// tombstone (Done != "").
+type acceptRecord struct {
+	Job  *AcceptedJob `json:"job,omitempty"`
+	Done string       `json:"done,omitempty"`
+}
+
+// AcceptLog appends accept records and tombstones to a JSON-lines file.
+type AcceptLog struct {
+	mu   sync.Mutex
+	f    File
+	fs   FS
+	path string
+}
+
+// OpenAcceptLog opens (creating if needed) the accept journal at path,
+// takes the single-writer flock, truncates any torn tail, and returns
+// the jobs accepted but not yet finished — in acceptance order, ready
+// for Server.Recover. When the file holds no pending work it is
+// compacted to empty. fsys nil means the real filesystem.
+func OpenAcceptLog(path string, fsys FS) (*AcceptLog, []AcceptedJob, error) {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("accept journal %s: %w", path, err)
+	}
+	if err := exp.LockFile(f.Fd()); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("accept journal %s: already locked by another process (flock: %w); "+
+			"two daemons appending to one accept journal would corrupt it — "+
+			"stop the other daemon or use a different path", path, err)
+	}
+	var (
+		order []string
+		jobs  = map[string]AcceptedJob{}
+		done  = map[string]bool{}
+		good  int64 // offset just past the last fully parsed line
+		off   int64
+	)
+	rd := bufio.NewReader(f)
+	for {
+		line, err := rd.ReadBytes('\n')
+		off += int64(len(line))
+		complete := err == nil // a line without trailing \n is a torn write
+		if len(line) > 0 && complete {
+			var rec acceptRecord
+			if jerr := json.Unmarshal(line, &rec); jerr != nil || (rec.Job == nil && rec.Done == "") {
+				// Corrupt interior line: everything after it is suspect
+				// too, so stop here and truncate.
+				break
+			}
+			switch {
+			case rec.Job != nil && rec.Job.ID != "":
+				if _, seen := jobs[rec.Job.ID]; !seen {
+					order = append(order, rec.Job.ID)
+				}
+				jobs[rec.Job.ID] = *rec.Job
+			case rec.Done != "":
+				done[rec.Done] = true
+			}
+			good = off
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("accept journal %s: %w", path, err)
+		}
+	}
+	var pending []AcceptedJob
+	for _, id := range order {
+		if !done[id] {
+			pending = append(pending, jobs[id])
+		}
+	}
+	end := good
+	if len(pending) == 0 {
+		end = 0 // fully drained: compact (safe — nothing to lose)
+	}
+	if err := f.Truncate(end); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("accept journal %s: truncate: %w", path, err)
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("accept journal %s: %w", path, err)
+	}
+	return &AcceptLog{f: f, fs: fsys, path: path}, pending, nil
+}
+
+// append marshals one record, writes it and syncs it to stable storage.
+func (a *AcceptLog) append(rec acceptRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, err := a.f.Write(b); err != nil {
+		return err
+	}
+	return a.f.Sync()
+}
+
+// Accept records one admitted job. It must complete before the client
+// is acked — it is the write-ahead half of the durability contract.
+func (a *AcceptLog) Accept(job AcceptedJob) error {
+	return a.append(acceptRecord{Job: &job})
+}
+
+// Finish records that a job reached a terminal state and owes no more
+// work. Skipped for drain-canceled jobs, which must be recovered.
+func (a *AcceptLog) Finish(id string) error {
+	return a.append(acceptRecord{Done: id})
+}
+
+// Path returns the journal's file path.
+func (a *AcceptLog) Path() string { return a.path }
+
+// Close releases the file (and with it the flock).
+func (a *AcceptLog) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.f.Close()
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"sync"
+	"sync/atomic"
 
 	"memnet/internal/exp"
 )
@@ -44,6 +45,11 @@ type job struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// skipTombstone marks a drain-deadline cancellation: the job stays
+	// un-tombstoned in the accept journal so the next process life
+	// recovers it instead of forgetting it.
+	skipTombstone atomic.Bool
 
 	// done is closed when the job reaches a terminal state.
 	done chan struct{}
@@ -98,12 +104,14 @@ func (j *job) publish(typ string, payload any) {
 }
 
 // finish moves the job to a terminal state, publishes the final "done"
-// event, closes every subscriber and releases waiters.
-func (j *job) finish(state, errMsg string, summary any) {
+// event, closes every subscriber and releases waiters. It reports
+// whether this call performed the transition — the caller that wins
+// owns the follow-up bookkeeping (counters, accept-journal tombstone).
+func (j *job) finish(state, errMsg string, summary any) bool {
 	j.mu.Lock()
 	if j.state == StateDone || j.state == StateFailed || j.state == StateCanceled {
 		j.mu.Unlock()
-		return
+		return false
 	}
 	j.state = state
 	j.errMsg = errMsg
@@ -119,6 +127,7 @@ func (j *job) finish(state, errMsg string, summary any) {
 	j.mu.Unlock()
 	j.cancel()
 	close(j.done)
+	return true
 }
 
 // subscribe returns the replay of everything published so far plus a

@@ -25,11 +25,13 @@ package serve
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,6 +57,22 @@ type Config struct {
 	// format), so daemon results merge with CLI sweeps and survive
 	// crashes. The journal's flock guarantees no CLI can interleave.
 	Journal *exp.Journal
+	// Accepts, when non-nil, is the write-ahead accept journal: every
+	// admitted job is fsynced to it before the 202 goes out and
+	// tombstoned when it finishes, so Recover can re-enqueue whatever a
+	// crashed daemon still owed. An append failure (full disk) degrades
+	// to a counter — the job still runs, it just is not durable.
+	Accepts *AcceptLog
+	// AuthToken, when non-empty, gates the mutating endpoints (POST
+	// /jobs, DELETE /jobs/{id}) behind "Authorization: Bearer <token>"
+	// with a constant-time compare; everything else stays open so load
+	// balancers and dashboards keep working.
+	AuthToken string
+	// StoreMaxBytes and StoreMaxAge arm the store GC, which runs after
+	// every fresh Put with in-flight job keys pinned. Zero disables the
+	// corresponding policy.
+	StoreMaxBytes int64
+	StoreMaxAge   time.Duration
 	// QueueDepth bounds admitted-but-not-running jobs (0 =
 	// DefaultQueueDepth). A full queue rejects with 429 + Retry-After.
 	QueueDepth int
@@ -103,6 +121,10 @@ type Server struct {
 	cellsRun  atomic.Uint64 // cells simulated fresh
 	canceled  atomic.Uint64 // jobs canceled
 	inFlight  atomic.Int64  // jobs currently running
+	recovered atomic.Uint64 // jobs replayed from the accept journal
+	unauth    atomic.Uint64 // 401s issued
+	putErrors atomic.Uint64 // store writes that failed (disk full, ...)
+	walErrors atomic.Uint64 // accept-journal appends that failed
 
 	regMu sync.Mutex
 	reg   *metrics.Registry
@@ -151,33 +173,78 @@ func (s *Server) initMetrics() {
 	s.reg.Counter("serve.cells.run", func() float64 { return float64(s.cellsRun.Load()) })
 	s.reg.Gauge("serve.queue.depth", func() float64 { return float64(len(s.queue)) })
 	s.reg.Gauge("serve.jobs.in_flight", func() float64 { return float64(s.inFlight.Load()) })
+	s.reg.Counter("serve.jobs.recovered", func() float64 { return float64(s.recovered.Load()) })
+	s.reg.Counter("serve.jobs.unauthorized", func() float64 { return float64(s.unauth.Load()) })
+	s.reg.Counter("serve.store.put_errors", func() float64 { return float64(s.putErrors.Load()) })
+	s.reg.Counter("serve.accept_journal.errors", func() float64 { return float64(s.walErrors.Load()) })
+	if s.cfg.Store != nil {
+		st := s.cfg.Store
+		s.reg.Counter("serve.store.quarantined", func() float64 { return float64(st.Quarantined()) })
+		s.reg.Counter("serve.store.evictions", func() float64 { return float64(st.Evictions()) })
+		// Live directory scan; /metricsz is pull-based and off the job
+		// hot path. A scan failure reports -1, never a phantom 0.
+		s.reg.Gauge("serve.store.bytes", func() float64 {
+			_, bytes, err := st.Scan()
+			if err != nil {
+				return -1
+			}
+			return float64(bytes)
+		})
+	}
 	s.reg.StartManual()
 }
 
-// Stats is the /statusz payload.
+// Stats is the /statusz payload. The store block reports a live scan:
+// entry count, total bytes, lifetime quarantine/eviction counters, and
+// — crucially — the scan error itself when the store directory cannot
+// be read, instead of silently claiming an empty store.
 type Stats struct {
-	Submitted uint64 `json:"submitted"`
-	Rejected  uint64 `json:"rejected"`
-	Canceled  uint64 `json:"canceled"`
-	CacheHits uint64 `json:"cache_hits"`
-	CellsRun  uint64 `json:"cells_run"`
-	QueueLen  int    `json:"queue_len"`
-	InFlight  int64  `json:"in_flight"`
-	Draining  bool   `json:"draining"`
+	Submitted      uint64 `json:"submitted"`
+	Recovered      uint64 `json:"recovered"`
+	Rejected       uint64 `json:"rejected"`
+	Unauthorized   uint64 `json:"unauthorized"`
+	Canceled       uint64 `json:"canceled"`
+	CacheHits      uint64 `json:"cache_hits"`
+	CellsRun       uint64 `json:"cells_run"`
+	QueueLen       int    `json:"queue_len"`
+	InFlight       int64  `json:"in_flight"`
+	Draining       bool   `json:"draining"`
+	StoreEntries   int    `json:"store_entries"`
+	StoreBytes     int64  `json:"store_bytes"`
+	StorePutErrors uint64 `json:"store_put_errors"`
+	Quarantined    uint64 `json:"quarantined"`
+	Evictions      uint64 `json:"evictions"`
+	AcceptErrors   uint64 `json:"accept_journal_errors"`
+	StoreScanError string `json:"store_scan_error,omitempty"`
 }
 
 // Stats snapshots the daemon counters.
 func (s *Server) Stats() Stats {
-	return Stats{
-		Submitted: s.submitted.Load(),
-		Rejected:  s.rejected.Load(),
-		Canceled:  s.canceled.Load(),
-		CacheHits: s.cacheHits.Load(),
-		CellsRun:  s.cellsRun.Load(),
-		QueueLen:  len(s.queue),
-		InFlight:  s.inFlight.Load(),
-		Draining:  s.draining.Load(),
+	st := Stats{
+		Submitted:      s.submitted.Load(),
+		Recovered:      s.recovered.Load(),
+		Rejected:       s.rejected.Load(),
+		Unauthorized:   s.unauth.Load(),
+		Canceled:       s.canceled.Load(),
+		CacheHits:      s.cacheHits.Load(),
+		CellsRun:       s.cellsRun.Load(),
+		QueueLen:       len(s.queue),
+		InFlight:       s.inFlight.Load(),
+		Draining:       s.draining.Load(),
+		StorePutErrors: s.putErrors.Load(),
+		AcceptErrors:   s.walErrors.Load(),
 	}
+	if s.cfg.Store != nil {
+		entries, bytes, err := s.cfg.Store.Scan()
+		st.StoreEntries = entries
+		st.StoreBytes = bytes
+		if err != nil {
+			st.StoreScanError = err.Error()
+		}
+		st.Quarantined = s.cfg.Store.Quarantined()
+		st.Evictions = s.cfg.Store.Evictions()
+	}
+	return st
 }
 
 // Handler returns the daemon's HTTP mux.
@@ -199,11 +266,29 @@ func (s *Server) initMux() {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
 	s.mux.HandleFunc("GET /metricsz", s.handleMetrics)
-	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /jobs", s.authed(s.handleSubmit))
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
-	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.authed(s.handleCancel))
+}
+
+// authed wraps a mutating handler behind the optional shared-secret
+// check: "Authorization: Bearer <token>", compared in constant time so
+// the 401 latency leaks nothing about how much of the token matched.
+func (s *Server) authed(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.AuthToken != "" {
+			got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+			if !ok || subtle.ConstantTimeCompare([]byte(got), []byte(s.cfg.AuthToken)) != 1 {
+				s.unauth.Add(1)
+				w.Header().Set("WWW-Authenticate", "Bearer")
+				http.Error(w, "missing or invalid bearer token", http.StatusUnauthorized)
+				return
+			}
+		}
+		h(w, r)
+	}
 }
 
 // SubmitRequest is the POST /jobs body: the same declarative runs a
@@ -243,26 +328,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad submission: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	if len(req.Runs) == 0 {
-		http.Error(w, "bad submission: no runs", http.StatusBadRequest)
-		return
-	}
-	metricsInterval, err := exp.ParseSimDuration(req.MetricsInterval)
+	specs, keys, err := specsFromAccepted(AcceptedJob{
+		Runs:            req.Runs,
+		MetricsInterval: req.MetricsInterval,
+	})
 	if err != nil {
-		http.Error(w, "bad submission: metrics_interval: "+err.Error(), http.StatusBadRequest)
+		http.Error(w, "bad submission: "+err.Error(), http.StatusBadRequest)
 		return
-	}
-	specs := make([]exp.Spec, len(req.Runs))
-	keys := make([]string, len(req.Runs))
-	for i, sj := range req.Runs {
-		spec, err := sj.ToSpec()
-		if err != nil {
-			http.Error(w, fmt.Sprintf("bad submission: run %d: %v", i, err), http.StatusBadRequest)
-			return
-		}
-		spec.MetricsInterval = metricsInterval
-		specs[i] = spec
-		keys[i] = spec.Key()
 	}
 
 	stream := r.URL.Query().Get("stream") == "1"
@@ -272,27 +344,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// simulation within one kernel check interval.
 		base = r.Context()
 	}
-	wall := s.cfg.WallBudget
-	if req.WallBudgetMS > 0 {
-		reqWall := time.Duration(req.WallBudgetMS) * time.Millisecond
-		if wall == 0 || reqWall < wall {
-			wall = reqWall
-		}
-	}
-	var ctx context.Context
-	var cancel context.CancelFunc
-	if wall > 0 {
-		ctx, cancel = context.WithTimeout(base, wall)
-	} else {
-		ctx, cancel = context.WithCancel(base)
-	}
 	id := fmt.Sprintf("j%d", s.nextID.Add(1))
-	j := newJob(id, keys, ctx, cancel)
-	j.specs = specs
-	j.eventBudget = s.cfg.EventBudget
-	if req.EventBudget > 0 && (j.eventBudget == 0 || req.EventBudget < j.eventBudget) {
-		j.eventBudget = req.EventBudget
-	}
+	j := s.buildJob(id, specs, keys, base, req.WallBudgetMS, req.EventBudget)
 
 	// Admission: non-blocking send into the bounded queue under the
 	// read lock (Drain holds the write lock while closing the channel).
@@ -307,7 +360,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.admitMu.RUnlock()
 	if !admitted {
-		cancel()
+		j.cancel()
 		if s.draining.Load() {
 			http.Error(w, "draining: not admitting jobs", http.StatusServiceUnavailable)
 			return
@@ -316,6 +369,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
 		http.Error(w, "queue full: retry later", http.StatusTooManyRequests)
 		return
+	}
+	// Write-ahead: the accept record must be on disk before the client
+	// is acked. A failed append (full disk) degrades to a counter — the
+	// job still runs, it just will not survive a crash.
+	if s.cfg.Accepts != nil {
+		rec := AcceptedJob{
+			ID:              id,
+			Runs:            req.Runs,
+			WallBudgetMS:    req.WallBudgetMS,
+			EventBudget:     req.EventBudget,
+			MetricsInterval: req.MetricsInterval,
+		}
+		if err := s.cfg.Accepts.Accept(rec); err != nil {
+			s.walErrors.Add(1)
+			s.cfg.Logf("serve: accept journal append for %s: %v", id, err)
+		}
 	}
 	s.jobMu.Lock()
 	s.jobs[id] = j
@@ -329,6 +398,117 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.streamJob(w, r, j)
+}
+
+// specsFromAccepted rebuilds runnable specs and their cache keys from a
+// submission's durable form — the one parse path both fresh submissions
+// and crash recovery go through, so a recovered job is bit-identical to
+// its original admission.
+func specsFromAccepted(aj AcceptedJob) ([]exp.Spec, []string, error) {
+	if len(aj.Runs) == 0 {
+		return nil, nil, errors.New("no runs")
+	}
+	metricsInterval, err := exp.ParseSimDuration(aj.MetricsInterval)
+	if err != nil {
+		return nil, nil, fmt.Errorf("metrics_interval: %w", err)
+	}
+	specs := make([]exp.Spec, len(aj.Runs))
+	keys := make([]string, len(aj.Runs))
+	for i, sj := range aj.Runs {
+		spec, err := sj.ToSpec()
+		if err != nil {
+			return nil, nil, fmt.Errorf("run %d: %w", i, err)
+		}
+		spec.MetricsInterval = metricsInterval
+		specs[i] = spec
+		keys[i] = spec.Key()
+	}
+	return specs, keys, nil
+}
+
+// buildJob assembles a runnable job: per-job contexts and budget
+// overrides, each capped by the server's own configured budget.
+func (s *Server) buildJob(id string, specs []exp.Spec, keys []string, base context.Context, wallMS int64, eventBudget uint64) *job {
+	wall := s.cfg.WallBudget
+	if wallMS > 0 {
+		reqWall := time.Duration(wallMS) * time.Millisecond
+		if wall == 0 || reqWall < wall {
+			wall = reqWall
+		}
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if wall > 0 {
+		ctx, cancel = context.WithTimeout(base, wall)
+	} else {
+		ctx, cancel = context.WithCancel(base)
+	}
+	j := newJob(id, keys, ctx, cancel)
+	j.specs = specs
+	j.eventBudget = s.cfg.EventBudget
+	if eventBudget > 0 && (j.eventBudget == 0 || eventBudget < j.eventBudget) {
+		j.eventBudget = eventBudget
+	}
+	return j
+}
+
+// Recover re-enqueues every job a previous process life accepted but
+// never finished — the replay half of the write-ahead accept journal.
+// Cells whose results already reached the store come back as cache
+// hits, so only genuinely lost compute re-runs. Call it once, after New
+// and before serving traffic; it blocks until everything is enqueued
+// (the runner pool drains the queue underneath it, so pending sets
+// larger than the queue depth recover fine). It returns the number of
+// jobs re-enqueued.
+func (s *Server) Recover(pending []AcceptedJob) int {
+	n := 0
+	for _, aj := range pending {
+		specs, keys, err := specsFromAccepted(aj)
+		if err != nil || aj.ID == "" {
+			// A record that cannot be rebuilt (version drift, hand-edited
+			// journal) would otherwise replay forever: tombstone it.
+			s.cfg.Logf("serve: recover %q: unreplayable (%v); tombstoning", aj.ID, err)
+			if s.cfg.Accepts != nil && aj.ID != "" {
+				if ferr := s.cfg.Accepts.Finish(aj.ID); ferr != nil {
+					s.walErrors.Add(1)
+				}
+			}
+			continue
+		}
+		s.bumpID(aj.ID)
+		j := s.buildJob(aj.ID, specs, keys, context.Background(), aj.WallBudgetMS, aj.EventBudget)
+		s.admitMu.RLock()
+		if s.draining.Load() {
+			s.admitMu.RUnlock()
+			j.cancel()
+			break
+		}
+		s.queue <- j
+		s.admitMu.RUnlock()
+		s.jobMu.Lock()
+		s.jobs[aj.ID] = j
+		s.jobMu.Unlock()
+		s.recovered.Add(1)
+		n++
+		s.cfg.Logf("serve: recovered %s (%d cells)", aj.ID, len(keys))
+		j.publish("status", j.status(false))
+	}
+	return n
+}
+
+// bumpID raises the id counter to at least the numeric part of a
+// recovered id, so fresh admissions never collide with replayed jobs.
+func (s *Server) bumpID(id string) {
+	n, err := strconv.ParseUint(strings.TrimPrefix(id, "j"), 10, 64)
+	if err != nil {
+		return
+	}
+	for {
+		cur := s.nextID.Load()
+		if cur >= n || s.nextID.CompareAndSwap(cur, n) {
+			return
+		}
+	}
 }
 
 // lookup resolves {id} or answers 404.
@@ -391,10 +571,35 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 // immediately so it cannot occupy a runner.
 func (s *Server) cancelJob(j *job, why string) {
 	j.cancel()
-	if j.setStateIf(StateQueued, StateCanceled) {
-		s.canceled.Add(1)
-		j.finish(StateCanceled, why, j.status(false))
+	j.mu.Lock()
+	queued := j.state == StateQueued
+	j.mu.Unlock()
+	if queued {
+		// Losing the race to a runner is fine: the canceled context
+		// bounces the job straight back through runJob's finish path.
+		s.finishJob(j, StateCanceled, why, j.status(false))
 	}
+}
+
+// finishJob moves j to a terminal state and, when this call performed
+// the transition, updates the cancel counter and tombstones the job in
+// the accept journal. Drain-canceled jobs skip the tombstone on
+// purpose: they are the jobs the next process life must resume.
+func (s *Server) finishJob(j *job, state, errMsg string, summary any) bool {
+	if !j.finish(state, errMsg, summary) {
+		return false
+	}
+	if state == StateCanceled {
+		s.canceled.Add(1)
+	}
+	skip := state == StateCanceled && j.skipTombstone.Load()
+	if s.cfg.Accepts != nil && !skip {
+		if err := s.cfg.Accepts.Finish(j.id); err != nil {
+			s.walErrors.Add(1)
+			s.cfg.Logf("serve: accept journal tombstone for %s: %v", j.id, err)
+		}
+	}
+	return true
 }
 
 // streamJob writes the job's event log as SSE until the job finishes or
@@ -484,14 +689,16 @@ func (s *Server) runJob(j *job) {
 	failed := false
 	for i, spec := range j.specs {
 		if err := j.ctx.Err(); err != nil {
-			s.canceled.Add(1)
-			j.finish(StateCanceled, err.Error(), j.status(false))
+			s.finishJob(j, StateCanceled, err.Error(), j.status(false))
 			return
 		}
 		key := j.keys[i]
 		if s.cfg.Store != nil {
 			raw, hit, err := s.cfg.Store.Get(key)
 			if err != nil {
+				// ErrCorrupt means the entry was quarantined and this is
+				// now a cache miss; either way the cell re-simulates —
+				// corrupt bytes are never served and never a 500.
 				s.cfg.Logf("serve: %s: store read for %s: %v", j.id, key, err)
 			} else if hit {
 				s.cacheHits.Add(1)
@@ -511,12 +718,11 @@ func (s *Server) runJob(j *job) {
 		res, err := exp.RunCellBudgeted(j.ctx, spec, budget)
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				s.canceled.Add(1)
 				why := "canceled"
 				if errors.Is(err, context.DeadlineExceeded) {
 					why = "wall budget exhausted"
 				}
-				j.finish(StateCanceled, why, j.status(false))
+				s.finishJob(j, StateCanceled, why, j.status(false))
 				return
 			}
 			// Budget overruns, audit violations and contained panics fail
@@ -543,7 +749,19 @@ func (s *Server) runJob(j *job) {
 		}
 		if s.cfg.Store != nil {
 			if err := s.cfg.Store.Put(key, raw); err != nil {
+				// Disk-full degradation: the fresh result still goes to
+				// the client; only the cache misses out.
+				s.putErrors.Add(1)
 				s.cfg.Logf("serve: %s: store write for %s: %v", j.id, key, err)
+			} else if s.cfg.StoreMaxBytes > 0 || s.cfg.StoreMaxAge > 0 {
+				gcCfg := GCConfig{
+					MaxBytes: s.cfg.StoreMaxBytes,
+					MaxAge:   s.cfg.StoreMaxAge,
+					Pinned:   s.pinnedKeys(),
+				}
+				if _, gerr := s.cfg.Store.GC(gcCfg); gerr != nil {
+					s.cfg.Logf("serve: store gc: %v", gerr)
+				}
 			}
 		}
 		if s.cfg.Journal != nil {
@@ -559,10 +777,28 @@ func (s *Server) runJob(j *job) {
 		}
 	}
 	if failed {
-		j.finish(StateFailed, "one or more cells failed", j.status(true))
+		s.finishJob(j, StateFailed, "one or more cells failed", j.status(true))
 	} else {
-		j.finish(StateDone, "", j.status(false))
+		s.finishJob(j, StateDone, "", j.status(false))
 	}
+}
+
+// pinnedKeys snapshots the spec keys of every non-terminal job so GC
+// never evicts an entry an in-flight job just wrote or is about to hit.
+func (s *Server) pinnedKeys() map[string]bool {
+	pinned := map[string]bool{}
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.state == StateQueued || j.state == StateRunning {
+			for _, k := range j.keys {
+				pinned[k] = true
+			}
+		}
+		j.mu.Unlock()
+	}
+	return pinned
 }
 
 // Drain stops admission and waits for queued and running jobs to
@@ -596,6 +832,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	s.jobMu.Unlock()
 	for _, j := range jobs {
+		// A drain-deadline cancel is the one terminal state that must NOT
+		// tombstone the accept journal: the job was admitted and never
+		// served, so the next process life owes it a replay.
+		j.skipTombstone.Store(true)
 		s.cancelJob(j, "canceled by drain deadline")
 	}
 	<-s.drained()
