@@ -30,6 +30,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 
 	"memnet/internal/exp"
@@ -54,10 +56,23 @@ type acceptRecord struct {
 
 // AcceptLog appends accept records and tombstones to a JSON-lines file.
 type AcceptLog struct {
-	mu   sync.Mutex
-	f    File
-	fs   FS
-	path string
+	mu      sync.Mutex
+	f       File
+	fs      FS
+	path    string
+	maxSeen uint64
+}
+
+// jobIDNum extracts the numeric part of a "j<n>" job id. Non-conforming
+// ids (hand-edited journals) report ok=false and never collide with
+// generated ids, which are always pure "j<n>".
+func jobIDNum(id string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(id, "j")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(rest, 10, 64)
+	return n, err == nil
 }
 
 // OpenAcceptLog opens (creating if needed) the accept journal at path,
@@ -80,12 +95,23 @@ func OpenAcceptLog(path string, fsys FS) (*AcceptLog, []AcceptedJob, error) {
 			"stop the other daemon or use a different path", path, err)
 	}
 	var (
-		order []string
-		jobs  = map[string]AcceptedJob{}
-		done  = map[string]bool{}
-		good  int64 // offset just past the last fully parsed line
-		off   int64
+		order   []string
+		jobs    = map[string]AcceptedJob{}
+		done    = map[string]bool{}
+		good    int64 // offset just past the last fully parsed line
+		off     int64
+		maxSeen uint64
 	)
+	// Every id in the file raises the floor for fresh ids — tombstones
+	// included. A non-compacted file keeps tombstones of finished jobs;
+	// if a new process life reused one of those ids, the stale "done"
+	// line would resolve against the new job's accept record on the next
+	// replay and silently drop an acked submission.
+	seeID := func(id string) {
+		if n, ok := jobIDNum(id); ok && n > maxSeen {
+			maxSeen = n
+		}
+	}
 	rd := bufio.NewReader(f)
 	for {
 		line, err := rd.ReadBytes('\n')
@@ -104,8 +130,10 @@ func OpenAcceptLog(path string, fsys FS) (*AcceptLog, []AcceptedJob, error) {
 					order = append(order, rec.Job.ID)
 				}
 				jobs[rec.Job.ID] = *rec.Job
+				seeID(rec.Job.ID)
 			case rec.Done != "":
 				done[rec.Done] = true
+				seeID(rec.Done)
 			}
 			good = off
 		}
@@ -135,8 +163,14 @@ func OpenAcceptLog(path string, fsys FS) (*AcceptLog, []AcceptedJob, error) {
 		f.Close()
 		return nil, nil, fmt.Errorf("accept journal %s: %w", path, err)
 	}
-	return &AcceptLog{f: f, fs: fsys, path: path}, pending, nil
+	return &AcceptLog{f: f, fs: fsys, path: path, maxSeen: maxSeen}, pending, nil
 }
+
+// MaxSeenID reports the highest numeric job id across every record the
+// file held at open — accepts and tombstones alike. The server raises
+// its id counter past it so a fresh admission can never reuse an id
+// whose stale tombstone still sits in a non-compacted journal.
+func (a *AcceptLog) MaxSeenID() uint64 { return a.maxSeen }
 
 // append marshals one record, writes it and syncs it to stable storage.
 func (a *AcceptLog) append(rec acceptRecord) error {

@@ -245,6 +245,104 @@ func TestRecoverReenqueues(t *testing.T) {
 	}
 }
 
+// TestAcceptLogMaxSeenID pins the id floor the WAL reports: the highest
+// numeric id across accepts AND tombstones, with non-conforming ids
+// ignored. Tombstones must count — a non-compacted file keeps them, and
+// a fresh job reusing a tombstoned id would be resolved as already done
+// on the next replay.
+func TestAcceptLogMaxSeenID(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "accept.wal")
+	a, _ := openAcceptLog(t, path, nil)
+	if a.MaxSeenID() != 0 {
+		t.Fatalf("fresh log MaxSeenID = %d", a.MaxSeenID())
+	}
+	if err := a.Accept(acceptedJob("j1", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Accept(acceptedJob("j7", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Finish("j7"); err != nil {
+		t.Fatal(err)
+	}
+	// A tombstone with no surviving accept record (its accept line was
+	// lost to a torn tail in a previous life) still raises the floor.
+	if err := a.Finish("j9"); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-edited ids never parse and never collide with generated ones.
+	if err := a.Accept(acceptedJob("weird-id", 2)); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	a2, _ := openAcceptLog(t, path, nil)
+	defer a2.Close()
+	if a2.MaxSeenID() != 9 {
+		t.Fatalf("MaxSeenID = %d, want 9 (tombstones included)", a2.MaxSeenID())
+	}
+}
+
+// TestFreshIDsSkipTombstonedWAL is the regression test for id reuse
+// against a non-compacted accept journal. Previous life: j1 pending
+// (blocks compaction), j2 finished — its tombstone stays in the file.
+// The next life's first fresh submission must get j3: if it reused j2,
+// the stale "done j2" line would resolve the new accept record as
+// already finished on the following replay and silently drop an acked
+// submission.
+func TestFreshIDsSkipTombstonedWAL(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir + "/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, "accept.wal")
+	a, _ := openAcceptLog(t, walPath, nil)
+	if err := a.Accept(acceptedJob("j1", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Accept(acceptedJob("j2", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Finish("j2"); err != nil {
+		t.Fatal(err)
+	}
+	a.Close() // crash with j1 pending: the file keeps j2's tombstone
+
+	a2, pending := openAcceptLog(t, walPath, nil)
+	if len(pending) != 1 || pending[0].ID != "j1" {
+		t.Fatalf("pending = %+v, want exactly j1", pending)
+	}
+	s := New(Config{Store: store, Accepts: a2, QueueDepth: 4, Runners: 1, Logf: t.Logf})
+	hs := newHTTPServer(t, s)
+	if n := s.Recover(pending); n != 1 {
+		t.Fatalf("Recover = %d, want 1", n)
+	}
+	sr := submit(t, hs, tinyBody("20us", 5))
+	if sr.ID == "j2" {
+		t.Fatal("fresh submission reused tombstoned id j2: its accept record would be dropped on the next replay")
+	}
+	if sr.ID != "j3" {
+		t.Fatalf("fresh id = %s, want j3 (floor set by the tombstoned j2)", sr.ID)
+	}
+	if !sr.Durable {
+		t.Fatal("accept append succeeded but the ack claims durable=false")
+	}
+	if st := waitTerminal(t, hs, sr.ID, 2*time.Minute); st.State != StateDone {
+		t.Fatalf("fresh job ended %s", st.State)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	s.Drain(ctx)
+	a2.Close()
+
+	// Third life: every acked submission is accounted for.
+	a3, pending := openAcceptLog(t, walPath, nil)
+	defer a3.Close()
+	if len(pending) != 0 {
+		t.Fatalf("third life still owes %+v — an acked submission was lost to id reuse", pending)
+	}
+}
+
 // TestRecoverTombstonesUnreplayable pins the poison-record path: an
 // accept record that cannot be rebuilt is tombstoned, not replayed
 // forever.
@@ -373,6 +471,11 @@ func TestAcceptAppendFailureDegrades(t *testing.T) {
 	ffs.Fail(FaultRule{Op: OpWrite, Path: "accept.wal", Err: errENOSPC, Count: -1})
 
 	sr := submit(t, hs, tinyBody("20us", 0))
+	// The degradation is visible to the client, not just a counter: the
+	// ack carries durable=false.
+	if sr.Durable {
+		t.Fatal("ack claims durability with a failing accept journal")
+	}
 	st := waitTerminal(t, hs, sr.ID, 2*time.Minute)
 	if st.State != StateDone {
 		t.Fatalf("job ended %s with a failing accept journal", st.State)
@@ -380,6 +483,23 @@ func TestAcceptAppendFailureDegrades(t *testing.T) {
 	if s.Stats().AcceptErrors == 0 {
 		t.Fatal("accept journal failure not counted")
 	}
+
+	// With the disk healed, the same submission acks durable again (the
+	// header mirrors the field for streaming clients).
+	ffs.Clear()
+	resp, err := http.Post(hs+"/jobs", "application/json", strings.NewReader(tinyBody("20us", 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr2 SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr2); err != nil {
+		t.Fatal(err)
+	}
+	if !sr2.Durable || resp.Header.Get(DurableHeader) != "true" {
+		t.Fatalf("healed submission not durable: durable=%v header=%q", sr2.Durable, resp.Header.Get(DurableHeader))
+	}
+	waitTerminal(t, hs, sr2.ID, 2*time.Minute)
 }
 
 // TestQuarantinedEntryResimulates pins the bit-rot path end to end: a
@@ -454,6 +574,11 @@ func TestStatuszSurfacesScanError(t *testing.T) {
 	hs := newHTTPServer(t, s)
 	drainServer(t, s)
 	ffs.Fail(FaultRule{Op: OpReadDir, Err: errors.New("injected EIO"), Count: -1})
+	// Dirty the store so the scan cache (warmed by the metrics baseline
+	// pull at New) cannot mask the injected fault.
+	if err := store.Put("k", json.RawMessage(`{"Events":1}`)); err != nil {
+		t.Fatal(err)
+	}
 
 	resp, err := http.Get(hs + "/statusz")
 	if err != nil {

@@ -153,6 +153,14 @@ func New(cfg Config) *Server {
 		queue: make(chan *job, cfg.QueueDepth),
 		jobs:  map[string]*job{},
 	}
+	if cfg.Accepts != nil {
+		// Start the id counter past every id the accept journal has ever
+		// seen — tombstones included, not just pending jobs. Reusing a
+		// tombstoned id would let its stale "done" line cancel the new
+		// job's accept record on the next replay, silently dropping an
+		// acked submission.
+		s.nextID.Store(cfg.Accepts.MaxSeenID())
+	}
 	s.initMetrics()
 	s.initMux()
 	for i := 0; i < cfg.Runners; i++ {
@@ -181,10 +189,11 @@ func (s *Server) initMetrics() {
 		st := s.cfg.Store
 		s.reg.Counter("serve.store.quarantined", func() float64 { return float64(st.Quarantined()) })
 		s.reg.Counter("serve.store.evictions", func() float64 { return float64(st.Evictions()) })
-		// Live directory scan; /metricsz is pull-based and off the job
-		// hot path. A scan failure reports -1, never a phantom 0.
+		// Cached directory scan: frequent scrapes cost O(1) filesystem
+		// work (the cache invalidates on every store mutation and after
+		// ScanCacheTTL). A scan failure reports -1, never a phantom 0.
 		s.reg.Gauge("serve.store.bytes", func() float64 {
-			_, bytes, err := st.Scan()
+			_, bytes, err := st.CachedScan()
 			if err != nil {
 				return -1
 			}
@@ -194,10 +203,11 @@ func (s *Server) initMetrics() {
 	s.reg.StartManual()
 }
 
-// Stats is the /statusz payload. The store block reports a live scan:
-// entry count, total bytes, lifetime quarantine/eviction counters, and
-// — crucially — the scan error itself when the store directory cannot
-// be read, instead of silently claiming an empty store.
+// Stats is the /statusz payload. The store block reports a cached scan
+// (fresh within ScanCacheTTL of any store mutation): entry count, total
+// bytes, lifetime quarantine/eviction counters, and — crucially — the
+// scan error itself when the store directory cannot be read, instead of
+// silently claiming an empty store.
 type Stats struct {
 	Submitted      uint64 `json:"submitted"`
 	Recovered      uint64 `json:"recovered"`
@@ -235,7 +245,7 @@ func (s *Server) Stats() Stats {
 		AcceptErrors:   s.walErrors.Load(),
 	}
 	if s.cfg.Store != nil {
-		entries, bytes, err := s.cfg.Store.Scan()
+		entries, bytes, err := s.cfg.Store.CachedScan()
 		st.StoreEntries = entries
 		st.StoreBytes = bytes
 		if err != nil {
@@ -306,12 +316,22 @@ type SubmitRequest struct {
 	MetricsInterval string `json:"metrics_interval,omitempty"`
 }
 
-// SubmitResponse acknowledges an admitted job.
+// SubmitResponse acknowledges an admitted job. Durable reports whether
+// the accept record reached stable storage before this ack: false means
+// the job runs but will not survive a crash (no accept journal, or the
+// append failed on a full disk) — clients that need the durability
+// guarantee must check it rather than trust the 202 alone.
 type SubmitResponse struct {
-	ID    string   `json:"id"`
-	State string   `json:"state"`
-	Keys  []string `json:"keys"`
+	ID      string   `json:"id"`
+	State   string   `json:"state"`
+	Keys    []string `json:"keys"`
+	Durable bool     `json:"durable"`
 }
+
+// DurableHeader is set on every submit response ("true"/"false"),
+// mirroring SubmitResponse.Durable for streaming submissions whose body
+// is the SSE event stream rather than the JSON ack.
+const DurableHeader = "X-Memnetd-Durable"
 
 // handleSubmit admits one job. With ?stream=1 the job is bound to the
 // request: the response is the job's SSE stream and a client disconnect
@@ -371,8 +391,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Write-ahead: the accept record must be on disk before the client
-	// is acked. A failed append (full disk) degrades to a counter — the
-	// job still runs, it just will not survive a crash.
+	// is acked. A failed append (full disk) degrades rather than failing
+	// the job — but the degradation is told to the client (Durable:false
+	// in the ack and the X-Memnetd-Durable header), not just counted, so
+	// a caller that needs crash-survival can resubmit elsewhere instead
+	// of trusting a 202 that only looks durable.
+	durable := false
 	if s.cfg.Accepts != nil {
 		rec := AcceptedJob{
 			ID:              id,
@@ -384,8 +408,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if err := s.cfg.Accepts.Accept(rec); err != nil {
 			s.walErrors.Add(1)
 			s.cfg.Logf("serve: accept journal append for %s: %v", id, err)
+		} else {
+			durable = true
 		}
 	}
+	w.Header().Set(DurableHeader, strconv.FormatBool(durable))
 	s.jobMu.Lock()
 	s.jobs[id] = j
 	s.jobMu.Unlock()
@@ -394,7 +421,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j.publish("status", j.status(false))
 
 	if !stream {
-		writeJSON(w, http.StatusAccepted, SubmitResponse{ID: id, State: StateQueued, Keys: keys})
+		writeJSON(w, http.StatusAccepted, SubmitResponse{ID: id, State: StateQueued, Keys: keys, Durable: durable})
 		return
 	}
 	s.streamJob(w, r, j)
@@ -499,8 +526,8 @@ func (s *Server) Recover(pending []AcceptedJob) int {
 // bumpID raises the id counter to at least the numeric part of a
 // recovered id, so fresh admissions never collide with replayed jobs.
 func (s *Server) bumpID(id string) {
-	n, err := strconv.ParseUint(strings.TrimPrefix(id, "j"), 10, 64)
-	if err != nil {
+	n, ok := jobIDNum(id)
+	if !ok {
 		return
 	}
 	for {

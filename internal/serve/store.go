@@ -7,17 +7,21 @@
 // Writes are atomic (tmp file + fsync + rename) so a daemon killed
 // mid-write leaves either the old entry or the new one, never a torn
 // file. Every entry embeds its spec key and a sha256 of its payload;
-// Get re-verifies both, and an entry that fails — bit-rot, a torn file
-// from a pre-checksum daemon, a hand-edited payload, a hash collision —
-// is moved to the quarantine/ subdirectory and reported as a cache
-// miss, never served and never a 500. Fsck runs the same verification
-// over the whole store at startup and sweeps the stale .put-* temp
-// files a crash mid-Put can leak; GC bounds the store by total bytes
-// and by entry age (last hit, tracked via mtime), never evicting
-// entries pinned by in-flight jobs.
+// Get re-verifies both, and an entry that fails — bit-rot, a torn
+// envelope, a hand-edited payload, a hash collision — is moved to the
+// quarantine/ subdirectory and reported as a cache miss, never served
+// and never a 500. Entries written by a pre-checksum daemon (intact
+// envelope and key, no Sum field) are not failures: Get and Fsck
+// migrate them by backfilling the checksum through Put, so an upgrade
+// keeps the existing cache instead of quarantining all of it. Fsck
+// runs the same verification over the whole store at startup and
+// sweeps the stale .put-* temp files a crash mid-Put can leak; GC
+// bounds the store by total bytes and by entry age (last hit, tracked
+// via mtime), never evicting entries pinned by in-flight jobs.
 package serve
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -27,6 +31,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -41,6 +46,12 @@ const QuarantineDir = "quarantine"
 // the read as a cache miss.
 var ErrCorrupt = errors.New("serve: store entry corrupt")
 
+// ScanCacheTTL bounds how stale CachedScan's entry/byte figures may be
+// when nothing has mutated the store. Mutations (Put, GC, quarantine,
+// Fsck sweeps) invalidate the cache immediately, so the TTL only covers
+// changes made behind the store's back.
+const ScanCacheTTL = 500 * time.Millisecond
+
 // Store is a directory of content-addressed simulation results.
 type Store struct {
 	dir string
@@ -48,7 +59,23 @@ type Store struct {
 
 	quarantined atomic.Uint64 // entries moved to quarantine/ (Get + Fsck)
 	evictions   atomic.Uint64 // entries removed by GC
+
+	// Scan cache: metrics scrapes and /statusz polls hit CachedScan,
+	// which answers from the last successful Scan while gen is unchanged
+	// and the TTL holds, so frequent polling costs O(1) filesystem work
+	// instead of a ReadDir + per-entry Stat per request.
+	gen         atomic.Uint64 // bumped by every mutating store operation
+	scanMu      sync.Mutex
+	scanValid   bool
+	scanGen     uint64
+	scanAt      time.Time
+	scanEntries int
+	scanBytes   int64
 }
+
+// markDirty invalidates the scan cache; every operation that changes
+// the directory's contents calls it.
+func (s *Store) markDirty() { s.gen.Add(1) }
 
 // storeEntry is the on-disk envelope: the key rides along so Get can
 // verify the file really belongs to the requested spec, and Sum is the
@@ -105,22 +132,30 @@ func payloadSum(result json.RawMessage) string {
 
 // verifyEntry parses and verifies one on-disk entry against the key it
 // is filed under. wantKey == "" skips the key comparison (Fsck trusts
-// the embedded key and checks the filename instead).
-func verifyEntry(data []byte, wantKey string) (storeEntry, error) {
-	var e storeEntry
+// the embedded key and checks the filename instead). legacy reports an
+// entry written by a pre-checksum daemon: envelope and key intact but
+// no Sum field to verify the payload against. Such entries are valid
+// (err == nil) — quarantining them would throw away the whole cache on
+// the first post-upgrade startup — and callers backfill the checksum by
+// rewriting them through Put.
+func verifyEntry(data []byte, wantKey string) (e storeEntry, legacy bool, err error) {
 	if err := json.Unmarshal(data, &e); err != nil {
-		return e, fmt.Errorf("undecodable envelope: %w", err)
+		return e, false, fmt.Errorf("undecodable envelope: %w", err)
 	}
 	if wantKey != "" && e.Key != wantKey {
-		return e, fmt.Errorf("key mismatch: have %q, want %q", e.Key, wantKey)
+		return e, false, fmt.Errorf("key mismatch: have %q, want %q", e.Key, wantKey)
 	}
 	if e.Sum == "" {
-		return e, errors.New("no payload checksum (pre-checksum entry or truncated envelope)")
+		if e.Key == "" || len(e.Result) == 0 {
+			// Not a plausible pre-checksum entry: nothing to migrate.
+			return e, false, errors.New("no payload checksum and no payload (truncated envelope)")
+		}
+		return e, true, nil
 	}
 	if got := payloadSum(e.Result); got != e.Sum {
-		return e, fmt.Errorf("payload checksum mismatch: have %s, want %s", got, e.Sum)
+		return e, false, fmt.Errorf("payload checksum mismatch: have %s, want %s", got, e.Sum)
 	}
-	return e, nil
+	return e, false, nil
 }
 
 // quarantine moves path into the quarantine subdirectory (same
@@ -136,6 +171,7 @@ func (s *Store) quarantine(path string) {
 		return
 	}
 	s.quarantined.Add(1)
+	s.markDirty()
 }
 
 // Get returns the stored result bytes for key, or ok=false when the key
@@ -152,10 +188,18 @@ func (s *Store) Get(key string) (json.RawMessage, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	e, verr := verifyEntry(data, key)
+	e, legacy, verr := verifyEntry(data, key)
 	if verr != nil {
 		s.quarantine(p)
 		return nil, false, fmt.Errorf("%w: %s: %v", ErrCorrupt, key, verr)
+	}
+	if legacy {
+		// Pre-checksum entry: serve it and backfill the checksum by
+		// rewriting in place (Put's tmp+rename atomically replaces the
+		// old envelope). Best-effort — a full disk leaves the entry
+		// legacy, retried on the next hit or fsck.
+		s.Put(key, e.Result)
+		return e.Result, true, nil
 	}
 	now := time.Now()
 	s.fs.Chtimes(p, now, now) // best-effort last-hit bump
@@ -166,6 +210,17 @@ func (s *Store) Get(key string) (json.RawMessage, bool, error) {
 // directory, fsync, rename. A concurrent Put of the same key is safe —
 // last rename wins and both carry identical content.
 func (s *Store) Put(key string, result json.RawMessage) error {
+	// Checksum the bytes as they will be stored: marshaling the envelope
+	// compacts the RawMessage, so a non-compact payload summed verbatim
+	// would produce an entry that fails its own verification on the
+	// first Get. Compacting is a no-op for the daemon's own (already
+	// compact) results, so stored bytes stay byte-identical to the
+	// fresh delivery.
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, result); err != nil {
+		return fmt.Errorf("serve: store put %s: payload not valid JSON: %w", key, err)
+	}
+	result = json.RawMessage(compact.Bytes())
 	data, err := json.Marshal(storeEntry{Key: key, Sum: payloadSum(result), Result: result})
 	if err != nil {
 		return err
@@ -187,7 +242,11 @@ func (s *Store) Put(key string, result json.RawMessage) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return s.fs.Rename(tmp.Name(), final)
+	if err := s.fs.Rename(tmp.Name(), final); err != nil {
+		return err
+	}
+	s.markDirty()
+	return nil
 }
 
 // Scan walks the store and reports entry count and total bytes. Scan
@@ -211,6 +270,32 @@ func (s *Store) Scan() (entries int, bytes int64, err error) {
 	return entries, bytes, nil
 }
 
+// CachedScan is Scan behind a small cache: while no store operation has
+// mutated the directory and the last successful scan is younger than
+// ScanCacheTTL, it answers without touching the filesystem. Errors are
+// never cached — a failed scan is retried on the next call — so an
+// unreadable store surfaces within one TTL at worst, immediately after
+// any mutation. This is the variant the metrics gauge and /statusz use;
+// anything needing exact point-in-time figures calls Scan directly.
+func (s *Store) CachedScan() (entries int, bytes int64, err error) {
+	gen := s.gen.Load() // before the scan: a racing mutation forces a rescan
+	s.scanMu.Lock()
+	defer s.scanMu.Unlock()
+	if s.scanValid && s.scanGen == gen && time.Since(s.scanAt) < ScanCacheTTL {
+		return s.scanEntries, s.scanBytes, nil
+	}
+	entries, bytes, err = s.Scan()
+	if err != nil {
+		s.scanValid = false
+		return 0, 0, err
+	}
+	s.scanValid = true
+	s.scanGen = gen
+	s.scanAt = time.Now()
+	s.scanEntries, s.scanBytes = entries, bytes
+	return entries, bytes, nil
+}
+
 // Len counts stored entries. The error is the scan error — callers must
 // not conflate "empty" with "unreadable".
 func (s *Store) Len() (int, error) {
@@ -220,10 +305,11 @@ func (s *Store) Len() (int, error) {
 
 // FsckReport summarizes a startup verification pass.
 type FsckReport struct {
-	Entries      int   // entries that verified clean
+	Entries      int   // entries that verified clean (migrated ones included)
 	Bytes        int64 // their total size
 	Quarantined  int   // entries moved to quarantine/ this pass
 	TempsRemoved int   // stale .put-* files swept
+	Migrated     int   // pre-checksum entries rewritten with a backfilled Sum
 }
 
 // Fsck verifies every entry in the store — envelope decodes, filename
@@ -245,6 +331,7 @@ func (s *Store) Fsck() (FsckReport, error) {
 		if strings.HasPrefix(name, ".put-") {
 			if err := s.fs.Remove(filepath.Join(s.dir, name)); err == nil {
 				rep.TempsRemoved++
+				s.markDirty()
 			}
 			continue
 		}
@@ -256,7 +343,7 @@ func (s *Store) Fsck() (FsckReport, error) {
 		if err != nil {
 			return rep, fmt.Errorf("serve: fsck: %s: %w", name, err)
 		}
-		e, verr := verifyEntry(data, "")
+		e, legacy, verr := verifyEntry(data, "")
 		if verr == nil && s.fileName(e.Key) != name {
 			verr = fmt.Errorf("filed under %s but key hashes to %s", name, s.fileName(e.Key))
 		}
@@ -264,6 +351,15 @@ func (s *Store) Fsck() (FsckReport, error) {
 			s.quarantine(p)
 			rep.Quarantined++
 			continue
+		}
+		if legacy {
+			// Pre-checksum entry in the right slot: backfill the checksum
+			// via Put instead of losing the whole pre-upgrade cache to
+			// quarantine. On a write failure the entry stays legacy and
+			// the next fsck retries.
+			if err := s.Put(e.Key, e.Result); err == nil {
+				rep.Migrated++
+			}
 		}
 		rep.Entries++
 		rep.Bytes += int64(len(data))
@@ -330,6 +426,7 @@ func (s *Store) GC(cfg GCConfig) (int, error) {
 		total -= e.size
 		evicted++
 		s.evictions.Add(1)
+		s.markDirty()
 		return true
 	}
 	remaining := files[:0]
