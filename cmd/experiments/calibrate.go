@@ -1,0 +1,71 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"memnet/internal/calib"
+)
+
+// runCalibrate executes the model-calibration harness and prints the
+// pinned accuracy report. The report is a pure function of the model and
+// the reference table — no wall time, no host details — so results/
+// calibration.txt can be committed as a golden and CI can fail on drift.
+// The harness has its own operating-point durations (150us/40us): the
+// CLI's -simtime/-warmup defaults are ignored unless set explicitly.
+func runCalibrate(jobs int, simtimeF, warmupF, outDir string) {
+	if jobs < 1 {
+		fmt.Fprintf(os.Stderr, "bad -jobs: need at least 1 worker, got %d\n", jobs)
+		os.Exit(1)
+	}
+	opts := calib.Options{Jobs: jobs}
+	var err error
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "simtime":
+			if opts.SimTime, err = parseDuration(simtimeF); err != nil {
+				fmt.Fprintf(os.Stderr, "bad -simtime: %v\n", err)
+				os.Exit(1)
+			}
+			if opts.SimTime <= 0 {
+				fmt.Fprintf(os.Stderr, "bad -simtime: must be positive, got %s\n", simtimeF)
+				os.Exit(1)
+			}
+		case "warmup":
+			if opts.Warmup, err = parseDuration(warmupF); err != nil {
+				fmt.Fprintf(os.Stderr, "bad -warmup: %v\n", err)
+				os.Exit(1)
+			}
+			if opts.Warmup < 0 {
+				fmt.Fprintf(os.Stderr, "bad -warmup: must be non-negative, got %s\n", warmupF)
+				os.Exit(1)
+			}
+		case "run", "coordinator", "worker", "list":
+			fmt.Fprintf(os.Stderr, "bad -calibrate: mutually exclusive with -%s\n", f.Name)
+			os.Exit(1)
+		}
+	})
+	rep, err := calib.Evaluate(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "calibrate: %v\n", err)
+		os.Exit(1)
+	}
+	out := rep.Render()
+	fmt.Print(out)
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "outdir: %v\n", err)
+			os.Exit(1)
+		}
+		path := outDir + "/calibration.txt"
+		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+	if !rep.Pass() {
+		fmt.Fprintln(os.Stderr, "calibrate: model outside published tolerances (see report above)")
+		os.Exit(1)
+	}
+}

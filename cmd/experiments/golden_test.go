@@ -111,6 +111,62 @@ func TestGoldenFaultMetricsSweep(t *testing.T) {
 	checkGolden(t, "fault_metrics_export", []byte(digest))
 }
 
+// TestGoldenCalibrate pins the model-calibration report byte for byte.
+// The report carries no wall time and its sweep is order-preserving, so
+// the same bytes must come back at any -jobs value, and the -outdir copy
+// must equal stdout exactly (that copy is what results/calibration.txt
+// is generated from).
+func TestGoldenCalibrate(t *testing.T) {
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	out, err := exec.Command(bin, "-calibrate", "-jobs", "2", "-outdir", dir).Output()
+	if err != nil {
+		t.Fatalf("-calibrate: %v", err)
+	}
+	checkGolden(t, "calibrate", out)
+
+	seq, err := exec.Command(bin, "-calibrate", "-jobs", "1").Output()
+	if err != nil {
+		t.Fatalf("-calibrate -jobs 1: %v", err)
+	}
+	if string(seq) != string(out) {
+		t.Error("-calibrate output differs between -jobs 1 and -jobs 2")
+	}
+
+	saved, err := os.ReadFile(filepath.Join(dir, "calibration.txt"))
+	if err != nil {
+		t.Fatalf("read -outdir report: %v", err)
+	}
+	if string(saved) != string(out) {
+		t.Error("-outdir calibration.txt differs from stdout")
+	}
+}
+
+// TestCalibrateFlagValidation: -calibrate owns the process, so it must
+// reject the run/distribution flags loudly rather than ignore them.
+func TestCalibrateFlagValidation(t *testing.T) {
+	bin := buildCLI(t)
+	for name, args := range map[string][]string{
+		"with -run":         {"-calibrate", "-run", "tableI"},
+		"with -list":        {"-calibrate", "-list"},
+		"with -coordinator": {"-calibrate", "-coordinator", ":0"},
+		"with -worker":      {"-calibrate", "-worker", "http://x"},
+		"bad simtime":       {"-calibrate", "-simtime", "bogus"},
+		"zero simtime":      {"-calibrate", "-simtime", "0s"},
+		"negative warmup":   {"-calibrate", "-warmup", "-1us"},
+		"zero jobs":         {"-calibrate", "-jobs", "0"},
+	} {
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err == nil {
+			t.Errorf("%s: accepted\n%s", name, out)
+			continue
+		}
+		if !strings.Contains(string(out), "bad -") {
+			t.Errorf("%s: error does not name the flag:\n%s", name, out)
+		}
+	}
+}
+
 // TestMetricsFlagValidation mirrors the memnetsim checks for this CLI's
 // stderr/exit-code error style.
 func TestMetricsFlagValidation(t *testing.T) {

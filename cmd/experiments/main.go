@@ -48,6 +48,8 @@ func main() {
 
 	runName := flag.String("run", "", "experiment to run (or 'all')")
 	list := flag.Bool("list", false, "list experiments")
+	calibrate := flag.Bool("calibrate", false,
+		"validate the model against the published reference table and print the accuracy report (exits 1 on drift)")
 	simtime := flag.String("simtime", "400us", "measured simulated interval per run")
 	warmup := flag.String("warmup", "100us", "simulated warmup per run")
 	outDir := flag.String("outdir", "", "also write each experiment's output to <outdir>/<name>.txt")
@@ -91,6 +93,10 @@ func main() {
 	if *leaseF != "" && *coordAddr == "" {
 		fmt.Fprintf(os.Stderr, "bad -lease: requires -coordinator\n")
 		os.Exit(1)
+	}
+	if *calibrate {
+		runCalibrate(*jobs, *simtime, *warmup, *outDir)
+		return
 	}
 	if *workerURL != "" {
 		if *coordAddr != "" || *runName != "" {

@@ -1,0 +1,36 @@
+package calib
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzCalibReference checks the reference-table loader on arbitrary
+// bytes: it must either reject the input or produce a validated table
+// that is a fixed point of marshal→reparse (no field lost, no value
+// mutated, nothing accepted that re-validation would reject).
+func FuzzCalibReference(f *testing.F) {
+	f.Add([]byte(referenceJSON))
+	f.Add([]byte(`{"rows": [{"name": "a", "source": "s", "quantity": "q", "value": 1.5, "unit": "ns", "tol_rel": 0.01}]}`))
+	f.Add([]byte(`{"bands": [{"name": "b", "param": "p", "output": "power", "min": -1, "max": 1}]}`))
+	f.Add([]byte(`{"rows": [{"name": "a", "value": 1, "typo": 2}]}`))
+	f.Add([]byte(`]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ref, err := Parse(data)
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(ref)
+		if err != nil {
+			t.Fatalf("accepted table does not marshal: %v", err)
+		}
+		again, err := Parse(out)
+		if err != nil {
+			t.Fatalf("marshaled form of an accepted table was rejected: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(ref, again) {
+			t.Fatalf("marshal/reparse is not a fixed point:\n%+v\n%+v", ref, again)
+		}
+	})
+}

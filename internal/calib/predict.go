@@ -1,0 +1,56 @@
+// Closed-form predictors for the quantities the differential rows check.
+// Each one mirrors the corresponding simulation arithmetic exactly — same
+// constants, same accumulation order — so the ground-truth comparisons can
+// demand equality down to the picosecond (latency) or the last bit
+// (zero-traffic energy) rather than hiding model drift inside a loose
+// tolerance.
+
+package calib
+
+import (
+	"memnet/internal/dram"
+	"memnet/internal/link"
+	"memnet/internal/packet"
+	"memnet/internal/power"
+	"memnet/internal/sim"
+)
+
+// HopLatency is the closed-form latency of one packet hop at full link
+// width: serialization of every flit, SERDES, then the router pipeline.
+func HopLatency(kind packet.Kind) sim.Duration {
+	ser := sim.Duration(float64(int64(link.FlitTimeFull)*int64(kind.Flits())) + 0.5)
+	return ser + link.SERDESBase + link.RouterLatency()
+}
+
+// PredictReadLatency is the closed-form unloaded read latency of a module
+// at the given topology depth: the request and response each traverse
+// depth links, and the DRAM adds its Eq. 1 floor (tRCD + tCL + burst).
+func PredictReadLatency(cfg dram.Config, depth int) sim.Duration {
+	perHop := HopLatency(packet.ReadReq) + HopLatency(packet.ReadResp)
+	return sim.Duration(depth)*perHop + cfg.NominalReadLatency()
+}
+
+// IdleFloorEnergy is the closed-form energy a zero-traffic network of the
+// given module classes consumes over elapsed seconds: every link at full
+// idle power plus the DRAM and logic leakage floors. The accumulation
+// order mirrors network.energyToNow exactly (per module: both links, then
+// DRAM leak, then logic leak), so on a zero-traffic run the measured
+// breakdown must equal this one bit for bit.
+func IdleFloorEnergy(pm power.Model, highRadix []bool, elapsed float64) power.Breakdown {
+	var b power.Breakdown
+	for _, hr := range highRadix {
+		p := pm.ParamsForRadix(hr)
+		w := p.LinkFullWatts()
+		b.IdleIO += w * elapsed
+		b.IdleIO += w * elapsed
+		b.DRAMLeak += p.DRAMLeakageWatts() * elapsed
+		b.LogicLeak += p.LogicLeakageWatts() * elapsed
+	}
+	return b
+}
+
+// IdleFloorWatts is the zero-traffic power floor of the given module
+// classes (two connectivity links per module).
+func IdleFloorWatts(pm power.Model, highRadix []bool) float64 {
+	return IdleFloorEnergy(pm, highRadix, 1).Total()
+}

@@ -1,0 +1,147 @@
+package calib
+
+import (
+	"testing"
+
+	"memnet/internal/dram"
+	"memnet/internal/power"
+	"memnet/internal/sim"
+	"memnet/internal/topology"
+)
+
+// The closed-form latency must respond strictly monotonically to every
+// timing parameter it depends on: longer tCL/tRCD can only slow a read,
+// a faster vault bus can only speed it up.
+func TestPredictedLatencyMonotone(t *testing.T) {
+	base := dram.DefaultConfig()
+	factors := []float64{0.5, 0.8, 1.0, 1.3, 2.0}
+	for _, param := range []string{"tCL", "tRCD"} {
+		prev := sim.Duration(-1)
+		for _, f := range factors {
+			cfg, err := base.Scaled(param, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lat := PredictReadLatency(cfg, 2)
+			if lat <= prev {
+				t.Fatalf("%s x%g: latency %s not increasing (prev %s)", param, f, lat, prev)
+			}
+			prev = lat
+		}
+	}
+	prev := sim.Duration(1 << 62)
+	for _, f := range factors {
+		cfg, err := base.Scaled("busGbps", f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat := PredictReadLatency(cfg, 2)
+		if lat >= prev {
+			t.Fatalf("busGbps x%g: latency %s not decreasing (prev %s)", f, lat, prev)
+		}
+		prev = lat
+	}
+	// Deeper chains can only add hops.
+	for depth := 2; depth <= 5; depth++ {
+		if PredictReadLatency(base, depth) <= PredictReadLatency(base, depth-1) {
+			t.Fatalf("latency not increasing in depth at %d", depth)
+		}
+	}
+}
+
+// The simulated unloaded read latency must match the closed form to the
+// picosecond — for the published config and for perturbed ones.
+func TestMeasuredLatencyEqualsClosedForm(t *testing.T) {
+	scaled := func(param string, f float64) dram.Config {
+		cfg, err := dram.DefaultConfig().Scaled(param, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cfg
+	}
+	configs := map[string]dram.Config{
+		"published":    dram.DefaultConfig(),
+		"tCL x1.5":     scaled("tCL", 1.5),
+		"tRCD x0.7":    scaled("tRCD", 0.7),
+		"busGbps x2":   scaled("busGbps", 2),
+		"busGbps x0.5": scaled("busGbps", 0.5),
+	}
+	for name, cfg := range configs {
+		m := &model{dram: cfg, pm: power.DefaultModel()}
+		for depth := 1; depth <= 4; depth++ {
+			got, err := measureReadLatency(m, depth)
+			if err != nil {
+				t.Fatalf("%s depth %d: %v", name, depth, err)
+			}
+			want := PredictReadLatency(cfg, depth).Nanoseconds()
+			if got != want {
+				t.Errorf("%s depth %d: simulated %.6f ns, closed form %.6f ns", name, depth, got, want)
+			}
+		}
+	}
+}
+
+// The idle floor must be non-decreasing in every power-model watt figure.
+func TestIdleFloorMonotoneInWatts(t *testing.T) {
+	classes := []bool{true, false, true}
+	prev := -1.0
+	for _, w := range []float64{1, 6.7, 13.4, 20, 100} {
+		pm := power.DefaultModel()
+		pm.PeakWatts = w
+		v := IdleFloorWatts(pm, classes)
+		if v <= prev {
+			t.Fatalf("PeakWatts %g: floor %g not increasing (prev %g)", w, v, prev)
+		}
+		prev = v
+	}
+	// Raising any idle fraction raises the floor too.
+	for name, bump := range map[string]func(*power.Model){
+		"DRAMIdleFraction":  func(m *power.Model) { m.DRAMIdleFraction *= 2 },
+		"LogicIdleFraction": func(m *power.Model) { m.LogicIdleFraction *= 2 },
+		"IOFraction":        func(m *power.Model) { m.IOFraction *= 1.5 },
+	} {
+		pm := power.DefaultModel()
+		base := IdleFloorWatts(pm, classes)
+		bump(&pm)
+		if got := IdleFloorWatts(pm, classes); got <= base {
+			t.Errorf("raising %s did not raise the idle floor: %g -> %g", name, base, got)
+		}
+	}
+}
+
+// A zero-traffic simulation must consume EXACTLY the closed-form idle
+// floor — bit-for-bit equality of the whole breakdown, not a tolerance.
+// The predictor mirrors the network's accumulation order to make that
+// possible; this test is what pins that mirror.
+func TestZeroTrafficEnergyExactlyIdleFloor(t *testing.T) {
+	cases := []struct {
+		kind topology.Kind
+		n    int
+	}{
+		{topology.DaisyChain, 1},
+		{topology.DaisyChain, 3},
+		{topology.TernaryTree, 4},
+		{topology.Star, 5},
+	}
+	const elapsed = 37 * sim.Microsecond // deliberately not round
+	for _, tc := range cases {
+		m := &model{dram: dram.DefaultConfig(), pm: power.DefaultModel()}
+		k, net, err := netFor(m, tc.kind, tc.n, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.Run(sim.Time(elapsed))
+		snap := net.TakeSnapshot()
+		hr := make([]bool, tc.n)
+		for i := range hr {
+			hr[i] = net.Topo.Radix(i) == topology.HighRadix
+		}
+		want := IdleFloorEnergy(m.pm, hr, sim.Time(elapsed).Seconds())
+		if snap.Energy != want {
+			t.Errorf("%v n=%d: zero-traffic energy %+v != closed form %+v", tc.kind, tc.n, snap.Energy, want)
+		}
+		if snap.Energy.ActiveIO != 0 || snap.Energy.DRAMDyn != 0 || snap.Energy.LogicDyn != 0 {
+			t.Errorf("%v n=%d: zero-traffic run has dynamic energy: %+v", tc.kind, tc.n, snap.Energy)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package calib validates the simulator's physical model against
+// independent ground truth: the published Table I DRAM timings, the [12]
+// HMC power split, and the paper's derived operating points (Eq. 1
+// latency floor, per-radix idle watts). It keeps those numbers *verified
+// inputs* rather than trusted constants, three ways:
+//
+//  1. Differential ground-truth rows — a machine-readable reference table
+//     (reference.json) checked against both the static configs
+//     (dram.DefaultConfig, the power model) and closed-form predictions
+//     vs. tiny deterministic simulations.
+//  2. Parameter-sensitivity sweeps — each timing/power parameter is
+//     perturbed ±10% around a fixed operating point and the measured
+//     elasticity must stay inside a declared band (an elasticity of ~0
+//     where the model says the parameter must matter is a wiring bug).
+//  3. A pinned accuracy report — Evaluate renders a per-quantity table of
+//     simulated vs. published values; the committed results/calibration.txt
+//     golden makes CI fail when model error moves.
+package calib
+
+import (
+	"bytes"
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync"
+)
+
+//go:embed reference.json
+var referenceJSON []byte
+
+// Row is one published quantity the model must reproduce. Value is in
+// the row's Unit; TolRel is the admissible relative error (0 = exact).
+// For rows whose published value is 0, TolRel bounds the absolute error
+// instead (relative error is undefined at zero).
+type Row struct {
+	Name     string  `json:"name"`
+	Source   string  `json:"source"`
+	Quantity string  `json:"quantity"`
+	Value    float64 `json:"value"`
+	Unit     string  `json:"unit"`
+	TolRel   float64 `json:"tol_rel"`
+}
+
+// Band declares the admissible elasticity range of one model output with
+// respect to one swept parameter: d(ln output)/d(ln param) measured over
+// the ±10% perturbation must land inside [Min, Max]. A band that excludes
+// zero also catches dead parameters — a perturbation the simulation does
+// not feel at all.
+type Band struct {
+	Name   string  `json:"name"`
+	Param  string  `json:"param"`
+	Output string  `json:"output"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// Reference is the full machine-readable ground-truth table.
+type Reference struct {
+	Rows  []Row  `json:"rows"`
+	Bands []Band `json:"bands"`
+}
+
+// Parse decodes a reference table strictly: unknown fields, trailing
+// data, and semantically invalid tables (duplicate names, negative
+// tolerances, inverted bands, non-finite numbers) are all errors.
+func Parse(data []byte) (*Reference, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var ref Reference
+	if err := dec.Decode(&ref); err != nil {
+		return nil, fmt.Errorf("calib: parse reference table: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("calib: trailing data after reference table")
+	}
+	if err := ref.Validate(); err != nil {
+		return nil, err
+	}
+	return &ref, nil
+}
+
+// Validate checks the table's internal consistency.
+func (r *Reference) Validate() error {
+	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+	names := make(map[string]bool, len(r.Rows)+len(r.Bands))
+	for i, row := range r.Rows {
+		switch {
+		case row.Name == "":
+			return fmt.Errorf("calib: row %d has no name", i)
+		case names[row.Name]:
+			return fmt.Errorf("calib: duplicate row name %q", row.Name)
+		case !finite(row.Value) || !finite(row.TolRel):
+			return fmt.Errorf("calib: row %q has a non-finite value or tolerance", row.Name)
+		case row.TolRel < 0:
+			return fmt.Errorf("calib: row %q has a negative tolerance %g", row.Name, row.TolRel)
+		}
+		names[row.Name] = true
+	}
+	for i, b := range r.Bands {
+		switch {
+		case b.Name == "":
+			return fmt.Errorf("calib: band %d has no name", i)
+		case names[b.Name]:
+			return fmt.Errorf("calib: duplicate band name %q", b.Name)
+		case b.Param == "" || b.Output == "":
+			return fmt.Errorf("calib: band %q needs both a param and an output", b.Name)
+		case b.Output != "latency" && b.Output != "power":
+			return fmt.Errorf("calib: band %q output %q is not latency or power", b.Name, b.Output)
+		case !finite(b.Min) || !finite(b.Max):
+			return fmt.Errorf("calib: band %q has a non-finite bound", b.Name)
+		case b.Min > b.Max:
+			return fmt.Errorf("calib: band %q bounds inverted: [%g, %g]", b.Name, b.Min, b.Max)
+		}
+		names[b.Name] = true
+	}
+	return nil
+}
+
+// Row returns the named row, if present.
+func (r *Reference) Row(name string) (Row, bool) {
+	for _, row := range r.Rows {
+		if row.Name == name {
+			return row, true
+		}
+	}
+	return Row{}, false
+}
+
+var (
+	defaultOnce sync.Once
+	defaultRef  *Reference
+	defaultErr  error
+)
+
+// Default returns the embedded reference table. The fixture is part of
+// the build, so a parse failure is a programming error and panics.
+func Default() *Reference {
+	defaultOnce.Do(func() { defaultRef, defaultErr = Parse(referenceJSON) })
+	if defaultErr != nil {
+		panic(defaultErr)
+	}
+	return defaultRef
+}

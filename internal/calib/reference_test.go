@@ -1,0 +1,62 @@
+package calib
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultReferenceParses(t *testing.T) {
+	ref := Default()
+	if len(ref.Rows) == 0 || len(ref.Bands) == 0 {
+		t.Fatalf("embedded reference is empty: %d rows, %d bands", len(ref.Rows), len(ref.Bands))
+	}
+	if _, ok := ref.Row("dram.tCL"); !ok {
+		t.Fatal("embedded reference lost the dram.tCL row")
+	}
+	if _, ok := ref.Row("no-such-row"); ok {
+		t.Fatal("Row returned a hit for a name not in the table")
+	}
+	if same := Default(); same != ref {
+		t.Fatal("Default is not memoized")
+	}
+}
+
+func TestParseRejectsMalformedTables(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"unknown field", `{"rows": [{"name": "a", "value": 1, "typo": true}]}`, "typo"},
+		{"trailing data", `{"rows": [{"name": "a", "value": 1}]} {"rows": []}`, "trailing data"},
+		{"duplicate row", `{"rows": [{"name": "a", "value": 1}, {"name": "a", "value": 2}]}`, "duplicate row"},
+		{"unnamed row", `{"rows": [{"value": 1}]}`, "no name"},
+		{"negative tol", `{"rows": [{"name": "a", "value": 1, "tol_rel": -0.5}]}`, "negative tolerance"},
+		{"non-finite value", `{"rows": [{"name": "a", "value": 1e999}]}`, "parse"},
+		{"band dup vs row", `{"rows": [{"name": "a", "value": 1}], "bands": [{"name": "a", "param": "p", "output": "latency"}]}`, "duplicate"},
+		{"band bad output", `{"bands": [{"name": "b", "param": "p", "output": "altitude"}]}`, "not latency or power"},
+		{"band no param", `{"bands": [{"name": "b", "output": "latency"}]}`, "needs both"},
+		{"band inverted", `{"bands": [{"name": "b", "param": "p", "output": "latency", "min": 2, "max": 1}]}`, "inverted"},
+		{"not json", `]`, "parse"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("Parse accepted %s", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseAcceptsMinimalTable(t *testing.T) {
+	ref, err := Parse([]byte(`{"rows": [{"name": "x", "source": "s", "value": 2, "tol_rel": 0.1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, ok := ref.Row("x")
+	if !ok || row.Value != 2 || row.TolRel != 0.1 {
+		t.Fatalf("round-trip lost the row: %+v (ok=%v)", row, ok)
+	}
+}

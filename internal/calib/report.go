@@ -1,0 +1,105 @@
+// Plain-text rendering of a calibration pass: the pinned accuracy report
+// committed at results/calibration.txt. Everything printed here is a
+// deterministic function of the model and the reference table — no wall
+// time, no host details — so the golden is byte-stable across machines
+// and -jobs values.
+
+package calib
+
+import (
+	"fmt"
+	"strings"
+
+	"memnet/internal/exp"
+	"memnet/internal/viz"
+)
+
+// gaugeWidth sizes the elasticity position gauges in the band table.
+const gaugeWidth = 12
+
+// Render formats the full accuracy report.
+func (r *Report) Render() string {
+	var b strings.Builder
+	b.WriteString("model calibration report\n")
+	b.WriteString("========================\n\n")
+
+	rows := exp.NewTable(
+		fmt.Sprintf("reference rows (%d): published ground truth vs. this model", len(r.Rows)),
+		"row", "source", "published", "simulated", "rel err", "tol", "verdict")
+	for _, row := range r.Rows {
+		rows.Row(row.Row.Name, row.Row.Source,
+			valUnit(row.Row.Value, row.Row.Unit), valUnit(row.Got, row.Row.Unit),
+			fmtErr(row.Err), fmtErr(row.Row.TolRel), verdict(row.OK))
+	}
+	b.WriteString(rows.String())
+	b.WriteByte('\n')
+
+	if r.SensSkipped {
+		b.WriteString("sensitivity sweep: skipped\n")
+	} else {
+		bands := exp.NewTable(
+			fmt.Sprintf("sensitivity bands (%d): elasticity d(ln out)/d(ln param) over a +/-10%% sweep at %s/%s warmup",
+				len(r.Bands), r.SimTime, r.Warmup),
+			"band", "axis", "y(x0.90)", "y(x1.00)", "y(x1.10)", "elasticity", "allowed", "position", "verdict")
+		for _, br := range r.Bands {
+			bands.Row(br.Band.Name, br.Band.Param+" -> "+br.Band.Output,
+				fmt.Sprintf("%.6g", br.Ys[0]), fmt.Sprintf("%.6g", br.Ys[len(br.Ys)/2]),
+				fmt.Sprintf("%.6g", br.Ys[len(br.Ys)-1]),
+				fmt.Sprintf("%.3f", br.Elasticity),
+				fmt.Sprintf("[%g, %g]", br.Band.Min, br.Band.Max),
+				viz.BandGauge(br.Band.Min, br.Band.Max, br.Elasticity, gaugeWidth),
+				verdict(br.OK))
+		}
+		b.WriteString(bands.String())
+		b.WriteByte('\n')
+		b.WriteString(r.Figure)
+	}
+
+	rowsOK, bandsOK := 0, 0
+	for _, row := range r.Rows {
+		if row.OK {
+			rowsOK++
+		}
+	}
+	for _, br := range r.Bands {
+		if br.OK {
+			bandsOK++
+		}
+	}
+	b.WriteByte('\n')
+	overall := "PASS"
+	if !r.Pass() {
+		overall = "FAIL"
+	}
+	fmt.Fprintf(&b, "verdict: %s (%d/%d rows within tolerance", overall, rowsOK, len(r.Rows))
+	if r.SensSkipped {
+		b.WriteString(", sensitivity skipped)\n")
+	} else {
+		fmt.Fprintf(&b, ", %d/%d bands in range)\n", bandsOK, len(r.Bands))
+	}
+	return b.String()
+}
+
+// valUnit formats a quantity with its unit, if any.
+func valUnit(v float64, unit string) string {
+	s := fmt.Sprintf("%.6g", v)
+	if unit != "" {
+		s += " " + unit
+	}
+	return s
+}
+
+// fmtErr formats an error or tolerance compactly; exact zero prints as 0.
+func fmtErr(e float64) string {
+	if e == 0 {
+		return "0"
+	}
+	return fmt.Sprintf("%.2e", e)
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "FAIL"
+}

@@ -1,0 +1,88 @@
+package calib
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"memnet/internal/dram"
+	"memnet/internal/power"
+)
+
+// Harness misuse must be an error, not a silently-empty report.
+func TestEvaluateRejectsBrokenInput(t *testing.T) {
+	bad := dram.Config{}
+	if _, err := Evaluate(Options{DRAM: &bad, SkipSensitivity: true}); err == nil {
+		t.Error("invalid DRAM config accepted")
+	}
+
+	ref := &Reference{Rows: []Row{{Name: "no.such.quantity", Source: "x", Value: 1}}}
+	if _, err := Evaluate(Options{Ref: ref, SkipSensitivity: true}); err == nil ||
+		!strings.Contains(err.Error(), "no evaluator") {
+		t.Errorf("unknown reference row not rejected (err=%v)", err)
+	}
+
+	ref = &Reference{Bands: []Band{{Name: "b", Param: "dram.bogus", Output: "latency", Min: 0, Max: 1}}}
+	if _, err := Evaluate(Options{Ref: ref}); err == nil ||
+		!strings.Contains(err.Error(), "unknown scalable parameter") {
+		t.Errorf("unknown sweep axis not rejected (err=%v)", err)
+	}
+}
+
+// A sweep of a perturbed model must carry the perturbation into every
+// cell: with the model under test at non-published tCL and PeakWatts,
+// the power.peak axis still has elasticity exactly 1 (all watt figures
+// scale together), which only holds if the overrides actually rode
+// along on each sweep cell.
+func TestSweepCarriesModelOverrides(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sensitivity sweep in -short mode")
+	}
+	cfg, err := dram.DefaultConfig().Scaled("tCL", 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := power.DefaultModel()
+	pm.PeakWatts = 10
+	ref := &Reference{Bands: []Band{{Name: "peak", Param: "power.peak", Output: "power", Min: 0.999, Max: 1.001}}}
+	rep, err := Evaluate(Options{Ref: ref, DRAM: &cfg, Power: &pm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Bands) != 1 {
+		t.Fatalf("got %d bands, want 1", len(rep.Bands))
+	}
+	b := rep.Bands[0]
+	if !b.OK || math.Abs(b.Elasticity-1) > 1e-6 {
+		t.Fatalf("power.peak elasticity %.6f under overridden model, want 1", b.Elasticity)
+	}
+	if rep.Figure == "" {
+		t.Error("sweep produced no figure")
+	}
+}
+
+// A failing report must say FAIL on the offending row and band and in
+// the verdict — the calibrate CLI's exit code hangs off this rendering.
+func TestRenderFailingReport(t *testing.T) {
+	rep := &Report{
+		SimTime: DefaultSensSimTime,
+		Warmup:  DefaultSensWarmup,
+		Rows: []RowResult{
+			{Row: Row{Name: "good.row", Source: "Table I", Value: 1, Unit: "ns"}, Got: 1, Err: 0, OK: true},
+			{Row: Row{Name: "bad.row", Source: "Table I", Value: 1, Unit: "ns", TolRel: 0.01}, Got: 2, Err: 1, OK: false},
+		},
+		Bands: []BandResult{
+			{Band: Band{Name: "bad.band", Param: "dram.tCL", Output: "latency", Min: 0, Max: 0.1},
+				Ys: []float64{1, 1, 1, 1, 9}, Elasticity: 7, OK: false},
+		},
+	}
+	if rep.Pass() {
+		t.Fatal("report with failures passes")
+	}
+	out := rep.Render()
+	for _, want := range []string{"bad.row", "bad.band", "FAIL", "verdict: FAIL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("failing report is missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -93,6 +93,57 @@ func (c Config) PeakBandwidthBytesPerSec() float64 {
 	return float64(c.Vaults) * float64(c.BusBits) * c.BusGbps * 1e9 / 8
 }
 
+// ScalableParams lists the parameter names Scaled accepts, in a stable
+// order — the axes the calibration sensitivity sweep perturbs.
+func ScalableParams() []string {
+	return []string{"tCL", "tRCD", "tRAS", "tRP", "tRRD", "tWR", "tREFI", "tRFC", "busGbps"}
+}
+
+// Scaled returns a copy of c with one named parameter multiplied by
+// factor (timings round to the nearest picosecond). It rejects unknown
+// names and non-positive factors so a sweep axis cannot silently perturb
+// nothing.
+func (c Config) Scaled(param string, factor float64) (Config, error) {
+	if factor <= 0 {
+		return Config{}, fmt.Errorf("dram: scale factor must be positive, got %g", factor)
+	}
+	scale := func(d sim.Duration) sim.Duration {
+		return sim.Duration(float64(d)*factor + 0.5)
+	}
+	switch param {
+	case "tCL":
+		c.TCL = scale(c.TCL)
+	case "tRCD":
+		c.TRCD = scale(c.TRCD)
+	case "tRAS":
+		c.TRAS = scale(c.TRAS)
+	case "tRP":
+		c.TRP = scale(c.TRP)
+	case "tRRD":
+		c.TRRD = scale(c.TRRD)
+	case "tWR":
+		c.TWR = scale(c.TWR)
+	case "tREFI":
+		c.TREFI = scale(c.TREFI)
+	case "tRFC":
+		c.TRFC = scale(c.TRFC)
+	case "busGbps":
+		c.BusGbps *= factor
+	default:
+		return Config{}, fmt.Errorf("dram: unknown scalable parameter %q (have %v)", param, ScalableParams())
+	}
+	return c, c.Validate()
+}
+
+// Fingerprint is a compact stable identity string covering every field,
+// used by the experiment harness to key memoization and journals when a
+// spec carries a DRAM override.
+func (c Config) Fingerprint() string {
+	return fmt.Sprintf("v%d.b%d.q%d.l%d.w%d.g%g.cl%d.rcd%d.ras%d.rp%d.rrd%d.wr%d.refi%d.rfc%d.p%d.row%d",
+		c.Vaults, c.Banks, c.QueueDepth, c.LineBytes, c.BusBits, c.BusGbps,
+		c.TCL, c.TRCD, c.TRAS, c.TRP, c.TRRD, c.TWR, c.TREFI, c.TRFC, c.Page, c.RowBytes)
+}
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	switch {

@@ -11,6 +11,7 @@ import (
 
 	"memnet/internal/audit"
 	"memnet/internal/core"
+	"memnet/internal/dram"
 	"memnet/internal/fault"
 	"memnet/internal/link"
 	"memnet/internal/metrics"
@@ -125,6 +126,15 @@ type Spec struct {
 	// from key(): audited and unaudited runs share cache and journal
 	// entries.
 	AuditEvery int
+	// DRAM overrides every module's DRAM configuration (nil = Table I via
+	// network.DefaultConfig). The calibration sensitivity sweep perturbs
+	// one timing parameter at a time through it. omitempty keeps journal
+	// records byte-identical to pre-override ones when unset, matching
+	// key()'s only-when-set suffix.
+	DRAM *dram.Config `json:",omitempty"`
+	// PeakWatts overrides the [12] high-radix peak power (0 = the
+	// published 13.4 W; low radix stays half the high-radix value).
+	PeakWatts float64 `json:",omitempty"`
 	// MetricsInterval arms the epoch-resolution metrics sampler over the
 	// measured interval with this sampling period (0 = disabled). The
 	// sampler only reads state, so every measured quantity is unchanged,
@@ -152,6 +162,14 @@ func (s Spec) key() string {
 	}
 	if s.MetricsInterval > 0 {
 		k += fmt.Sprintf("|m=%d", s.MetricsInterval)
+	}
+	// Model-calibration overrides append last, again only when set, so
+	// every key minted before they existed is reproduced verbatim.
+	if s.DRAM != nil {
+		k += "|dram=" + s.DRAM.Fingerprint()
+	}
+	if s.PeakWatts > 0 {
+		k += fmt.Sprintf("|pw=%g", s.PeakWatts)
 	}
 	return k
 }
@@ -330,6 +348,17 @@ func RunBudgeted(ctx context.Context, spec Spec, budget Budget) (Result, error) 
 	netCfg.Interleave = spec.Interleave
 	netCfg.Retrain = spec.RetrainLatency
 	netCfg.MaxCRCRetries = spec.CRCRetryLimit
+	if spec.DRAM != nil {
+		if err := spec.DRAM.Validate(); err != nil {
+			return Result{}, err
+		}
+		netCfg.DRAM = *spec.DRAM
+	}
+	if spec.PeakWatts > 0 {
+		pm := power.DefaultModel()
+		pm.PeakWatts = spec.PeakWatts
+		netCfg.Power = &pm
+	}
 	net := network.New(kernel, topo, netCfg)
 
 	mcfg := core.DefaultConfig(spec.Policy, spec.Alpha)

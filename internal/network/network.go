@@ -35,6 +35,10 @@ type Config struct {
 	PageBytes  uint64
 	// DRAM configures every module's DRAM stack.
 	DRAM dram.Config
+	// Power overrides the [12] power model for every module (nil = the
+	// published operating point, power.DefaultModel). The calibration
+	// harness perturbs it for sensitivity sweeps.
+	Power *power.Model
 	// ProactiveRespWake wires [22]: a module's response link starts
 	// waking as soon as its DRAM begins a read. The paper includes this
 	// in both management schemes whenever ROO links are used.
@@ -183,6 +187,10 @@ func New(k *sim.Kernel, topo *topology.Topology, cfg Config) *Network {
 	if cfg.Wakeup <= 0 {
 		cfg.Wakeup = link.WakeupDefault
 	}
+	pm := power.DefaultModel()
+	if cfg.Power != nil {
+		pm = *cfg.Power
+	}
 	n := &Network{Kernel: k, Topo: topo, Cfg: cfg, buildTime: k.Now()}
 	n.Modules = make([]*Module, topo.N())
 	n.Links = make([]*link.Link, 0, 2*topo.N())
@@ -194,7 +202,7 @@ func New(k *sim.Kernel, topo *topology.Topology, cfg Config) *Network {
 		m := &Module{
 			ID:     i,
 			DRAM:   dram.New(k, cfg.DRAM),
-			Params: power.ParamsForRadix(topo.Radix(i) == topology.HighRadix),
+			Params: pm.ParamsForRadix(topo.Radix(i) == topology.HighRadix),
 			net:    n,
 		}
 		lcfg := link.Config{

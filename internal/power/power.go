@@ -26,6 +26,33 @@ const (
 	OffLinkFraction    = 0.01 // ROO off-state power, of full link power
 )
 
+// Model bundles the [12] power parameters as data, so the calibration
+// harness can perturb them (sensitivity sweeps) and validate them (pinning
+// against the reference table) without rebuilding the package. The
+// package-level constants remain the published operating point;
+// DefaultModel carries exactly those values.
+type Model struct {
+	// PeakWatts is the high-radix peak; low radix is half (power tracks
+	// bandwidth, §III-B).
+	PeakWatts float64
+	// Component split of peak power.
+	DRAMFraction, LogicFraction, IOFraction float64
+	// Idle draw as a fraction of the component's peak.
+	DRAMIdleFraction, LogicIdleFraction float64
+}
+
+// DefaultModel returns the published [12] parameters.
+func DefaultModel() Model {
+	return Model{
+		PeakWatts:         HighRadixPeakWatts,
+		DRAMFraction:      DRAMFraction,
+		LogicFraction:     LogicFraction,
+		IOFraction:        IOFraction,
+		DRAMIdleFraction:  DRAMIdleFraction,
+		LogicIdleFraction: LogicIdleFraction,
+	}
+}
+
 // ModuleParams is the peak-power budget of one HMC class.
 type ModuleParams struct {
 	PeakWatts float64
@@ -33,23 +60,33 @@ type ModuleParams struct {
 	dramPeak  float64
 	logicPeak float64
 	ioPeak    float64
+	dramIdle  float64
+	logicIdle float64
 }
 
-// ParamsForRadix returns the power budget for a module class.
-func ParamsForRadix(highRadix bool) ModuleParams {
-	peak := HighRadixPeakWatts
+// ParamsForRadix returns the power budget for a module class under m.
+func (m Model) ParamsForRadix(highRadix bool) ModuleParams {
+	peak := m.PeakWatts
 	links := 8
 	if !highRadix {
-		peak = HighRadixPeakWatts / 2
+		peak = m.PeakWatts / 2
 		links = 4
 	}
 	return ModuleParams{
 		PeakWatts: peak,
 		UniLinks:  links,
-		dramPeak:  peak * DRAMFraction,
-		logicPeak: peak * LogicFraction,
-		ioPeak:    peak * IOFraction,
+		dramPeak:  peak * m.DRAMFraction,
+		logicPeak: peak * m.LogicFraction,
+		ioPeak:    peak * m.IOFraction,
+		dramIdle:  m.DRAMIdleFraction,
+		logicIdle: m.LogicIdleFraction,
 	}
+}
+
+// ParamsForRadix returns the power budget for a module class at the
+// published operating point.
+func ParamsForRadix(highRadix bool) ModuleParams {
+	return DefaultModel().ParamsForRadix(highRadix)
 }
 
 // DRAMPeakWatts returns the DRAM dies' share of peak power.
@@ -66,16 +103,16 @@ func (p ModuleParams) IOPeakWatts() float64 { return p.ioPeak }
 func (p ModuleParams) LinkFullWatts() float64 { return p.ioPeak / float64(p.UniLinks) }
 
 // DRAMLeakageWatts is the always-on DRAM power.
-func (p ModuleParams) DRAMLeakageWatts() float64 { return p.dramPeak * DRAMIdleFraction }
+func (p ModuleParams) DRAMLeakageWatts() float64 { return p.dramPeak * p.dramIdle }
 
 // DRAMDynamicRangeWatts is the DRAM power swing between idle and peak.
-func (p ModuleParams) DRAMDynamicRangeWatts() float64 { return p.dramPeak * (1 - DRAMIdleFraction) }
+func (p ModuleParams) DRAMDynamicRangeWatts() float64 { return p.dramPeak * (1 - p.dramIdle) }
 
 // LogicLeakageWatts is the always-on logic power.
-func (p ModuleParams) LogicLeakageWatts() float64 { return p.logicPeak * LogicIdleFraction }
+func (p ModuleParams) LogicLeakageWatts() float64 { return p.logicPeak * p.logicIdle }
 
 // LogicDynamicRangeWatts is the logic power swing between idle and peak.
-func (p ModuleParams) LogicDynamicRangeWatts() float64 { return p.logicPeak * (1 - LogicIdleFraction) }
+func (p ModuleParams) LogicDynamicRangeWatts() float64 { return p.logicPeak * (1 - p.logicIdle) }
 
 // Breakdown is an energy (joules) or power (watts) decomposition into the
 // six components of the paper's Fig. 5. The same struct serves both uses;

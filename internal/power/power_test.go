@@ -89,3 +89,24 @@ func TestBreakdownString(t *testing.T) {
 		t.Fatal("empty string")
 	}
 }
+
+// Check is the auditor's physicality gate: all-zero is a legal interval,
+// and every component rejects NaN, infinity, and negative energy.
+func TestBreakdownCheck(t *testing.T) {
+	if err := (Breakdown{}).Check(); err != nil {
+		t.Fatalf("zero breakdown rejected: %v", err)
+	}
+	if err := (Breakdown{IdleIO: 1, ActiveIO: 2, LogicLeak: 3, LogicDyn: 4, DRAMLeak: 5, DRAMDyn: 6}).Check(); err != nil {
+		t.Fatalf("positive breakdown rejected: %v", err)
+	}
+	for name, b := range map[string]Breakdown{
+		"negative idleIO":  {IdleIO: -1},
+		"NaN activeIO":     {ActiveIO: math.NaN()},
+		"Inf logicDyn":     {LogicDyn: math.Inf(1)},
+		"negative dramDyn": {DRAMDyn: -1e-12},
+	} {
+		if err := b.Check(); err == nil {
+			t.Errorf("%s passed Check", name)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package viz
+
+import (
+	"math"
+	"strings"
+)
+
+// BandGauge renders a value's position inside a declared band [lo, hi] as
+// a fixed-width ASCII gauge: "[---*----]" with the marker at the value's
+// relative position. Values outside the band pin to '<' or '>' at the
+// matching edge, and a non-finite value renders all '?' — so a failing
+// row is visually loud in plain-text reports. Width is the inner cell
+// count (minimum 1).
+func BandGauge(lo, hi, val float64, width int) string {
+	if width < 1 {
+		width = 1
+	}
+	if math.IsNaN(val) || math.IsInf(val, 0) || math.IsNaN(lo) || math.IsNaN(hi) || lo > hi {
+		return "[" + strings.Repeat("?", width) + "]"
+	}
+	cells := make([]byte, width)
+	for i := range cells {
+		cells[i] = '-'
+	}
+	switch {
+	case val < lo:
+		cells[0] = '<'
+	case val > hi:
+		cells[width-1] = '>'
+	default:
+		frac := 0.5
+		if hi > lo {
+			frac = (val - lo) / (hi - lo)
+		}
+		pos := int(frac * float64(width))
+		if pos >= width {
+			pos = width - 1
+		}
+		cells[pos] = '*'
+	}
+	return "[" + string(cells) + "]"
+}

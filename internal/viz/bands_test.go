@@ -1,0 +1,41 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBandGauge(t *testing.T) {
+	cases := []struct {
+		name        string
+		lo, hi, val float64
+		width       int
+		want        string
+	}{
+		{"center", 0, 1, 0.5, 10, "[-----*----]"},
+		{"at min", 0, 1, 0, 10, "[*---------]"},
+		{"at max clamps inside", 0, 1, 1, 10, "[---------*]"},
+		{"below pins left", 0, 1, -0.5, 10, "[<---------]"},
+		{"above pins right", 0, 1, 1.5, 10, "[--------->]"},
+		{"degenerate band centers", 2, 2, 2, 9, "[----*----]"},
+		{"nan is loud", 0, 1, math.NaN(), 6, "[??????]"},
+		{"inverted band is loud", 1, 0, 0.5, 4, "[????]"},
+		{"width floor", 0, 1, 0.5, 0, "[*]"},
+		{"negative range", -2, -1, -1.75, 4, "[-*--]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := BandGauge(tc.lo, tc.hi, tc.val, tc.width); got != tc.want {
+				t.Fatalf("BandGauge(%g, %g, %g, %d) = %q, want %q", tc.lo, tc.hi, tc.val, tc.width, got, tc.want)
+			}
+		})
+	}
+	// Exactly one marker for any in-band value at any width.
+	for _, v := range []float64{0, 0.1, 0.33, 0.5, 0.77, 1} {
+		g := BandGauge(0, 1, v, 12)
+		if strings.Count(g, "*") != 1 || len(g) != 14 {
+			t.Fatalf("BandGauge(0, 1, %g, 12) = %q: want exactly one marker in 12 cells", v, g)
+		}
+	}
+}
